@@ -1,0 +1,59 @@
+"""Ablation: noise-profile components.
+
+DESIGN.md attributes syncbench's within-run time inflation to OS noise
+amplified by barrier semantics (every preemption anywhere lands on the
+critical path).  This ablation runs the *same* configuration — identical
+RNG streams, so jitter draws cancel — under three noise profiles and
+verifies the mean repetition time responds monotonically:
+
+    quiet  <  baseline (dardel)  <  10x-scaled daemons/IRQs
+"""
+
+import numpy as np
+
+from repro.harness import ExperimentConfig, Runner
+from repro.omp.runtime import OpenMPRuntime
+from repro.osnoise import noisy_profile, quiet_profile
+
+
+def _mean_with_profile(profile, scale, seed) -> float:
+    """Mean barrier rep time with the platform's noise swapped to *profile*.
+
+    The Runner is constructed for the stock platform and then its platform
+    object is replaced, keeping the configuration (and thus every derived
+    RNG stream) identical across variants.
+    """
+    cfg = ExperimentConfig(
+        platform="dardel",
+        benchmark="syncbench",
+        num_threads=254,
+        places="threads",
+        proc_bind="close",
+        runs=scale["runs"],
+        seed=seed,
+        benchmark_params={"outer_reps": scale["reps"], "constructs": ("barrier",)},
+    )
+    runner = Runner(cfg)
+    if profile is not None:
+        plat = runner.platform.with_noise(profile())
+        runner.platform = plat
+        runner.runtime = OpenMPRuntime(plat, runner.env)
+    return float(runner.run().runs_matrix("barrier").mean())
+
+
+def test_noise_ablation(benchmark, scale, seed):
+    def run_ablation():
+        return {
+            "quiet": _mean_with_profile(quiet_profile, scale, seed),
+            "baseline": _mean_with_profile(None, scale, seed),
+            "noisy10x": _mean_with_profile(noisy_profile, scale, seed),
+        }
+
+    means = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print("\nbarrier@254 mean rep time (us): "
+          + ", ".join(f"{k}={v * 1e6:.1f}" for k, v in means.items()))
+    # noise adds time monotonically; with identical rng streams the
+    # ordering is deterministic
+    assert means["quiet"] < means["baseline"] < means["noisy10x"]
+    # tick amplification at 254 threads is a visible fraction of the rep
+    assert means["baseline"] > 1.05 * means["quiet"]

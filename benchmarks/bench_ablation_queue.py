@@ -1,0 +1,53 @@
+"""Ablation: the dynamic-schedule central-queue contention model.
+
+Table 2's dynamic_1 overheads come from per-chunk dequeue latency that
+grows with the team size.  This ablation sweeps the chunk size: larger
+chunks amortize the dequeue cost, so dynamic_64 must approach the static
+schedule while dynamic_1 stays measurably slower — the crossover the
+model is designed to reproduce.
+"""
+
+import numpy as np
+
+from repro.harness import ExperimentConfig, Runner
+
+
+def _mean_time(schedule, chunk, scale, seed):
+    cfg = ExperimentConfig(
+        platform="vera",
+        benchmark="schedbench",
+        num_threads=30,
+        places="cores",
+        proc_bind="close",
+        schedule=schedule,
+        schedule_chunk=chunk,
+        runs=max(2, scale["runs"] - 1),
+        seed=seed,
+        benchmark_params={"outer_reps": max(5, scale["reps"] // 3)},
+    )
+    label = f"{schedule}_{chunk}" if chunk is not None else schedule
+    return float(Runner(cfg).run().runs_matrix(label).mean())
+
+
+def test_queue_contention_ablation(benchmark, scale, seed):
+    def run_ablation():
+        return {
+            "static": _mean_time("static", None, scale, seed),
+            "dynamic_1": _mean_time("dynamic", 1, scale, seed),
+            "dynamic_8": _mean_time("dynamic", 8, scale, seed),
+            "dynamic_64": _mean_time("dynamic", 64, scale, seed),
+        }
+
+    times = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print("\nschedbench@vera/30thr mean times (s):")
+    for k, v in times.items():
+        print(f"  {k:>10}: {v * 1e3:9.2f} ms")
+
+    # chunk=1 pays the most queue overhead (dynamic_8 vs dynamic_64 differ
+    # by less than the run jitter, so only the strong orderings are asserted)
+    assert times["dynamic_1"] > times["dynamic_8"]
+    assert times["dynamic_1"] > times["dynamic_64"]
+    # large chunks approach static (within 1.5%)
+    assert times["dynamic_64"] < times["static"] * 1.015
+    # chunk=1 overhead is clearly visible (paper: ~2% at 30 threads)
+    assert times["dynamic_1"] > times["static"] * 1.005

@@ -1,0 +1,55 @@
+"""Ablation: scheduler hazard model.
+
+Figure 4's unpinned blow-up is modelled by OS wake hazards at region
+forks.  Zeroing the stacking probability must collapse the unpinned
+syncbench spread toward the pinned one, demonstrating the effect is
+carried by the scheduler model (not by noise or frequency).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.harness import ExperimentConfig, Runner
+from repro.platform import dardel
+import repro.platform as platform_module
+
+
+def _spread(platform_name, scale, seed):
+    cfg = ExperimentConfig(
+        platform=platform_name,
+        benchmark="syncbench",
+        num_threads=128,
+        places=None,
+        proc_bind="false",
+        runs=scale["runs"],
+        seed=seed,
+        benchmark_params={"outer_reps": scale["reps"],
+                          "constructs": ("reduction",)},
+    )
+    matrix = Runner(cfg).run().runs_matrix("reduction")
+    return float(matrix.max() / matrix.min())
+
+
+def test_sched_hazard_ablation(benchmark, scale, seed):
+    def run_ablation():
+        base = _spread("dardel", scale, seed)
+
+        plat = dardel()
+        no_hazard = dataclasses.replace(
+            plat,
+            sched_params=dataclasses.replace(
+                plat.sched_params, stacking_prob_per_thread=0.0
+            ),
+        )
+        platform_module._PLATFORMS["_abl_nohazard"] = lambda: no_hazard
+        try:
+            ablated = _spread("_abl_nohazard", scale, seed)
+        finally:
+            platform_module._PLATFORMS.pop("_abl_nohazard", None)
+        return base, ablated
+
+    base, ablated = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print(f"\nunpinned reduction@128 max/min: baseline {base:.1f}x, "
+          f"no-hazard {ablated:.1f}x")
+    assert base > 5 * ablated

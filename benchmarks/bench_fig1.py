@@ -1,0 +1,44 @@
+"""Figure 1: syncbench (reduction) scaling on Dardel and Vera.
+
+Checks the paper's shape: overhead grows with thread count, with a sharp
+increase when the team first spans two sockets (>16 threads on Vera,
+>64 cores on Dardel) and when SMT siblings are used (254 on Dardel).
+"""
+
+from conftest import run_once
+from repro.harness import experiments
+
+
+def test_figure1(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure1,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        seed=seed,
+        dardel_threads=(4, 32, 64, 128, 254),
+        vera_threads=(2, 8, 16, 30),
+    )
+    print()
+    print(art.render())
+
+    vera = art.data["vera"]
+    dardel = art.data["dardel"]
+
+    # monotone growth with thread count
+    assert vera["mean_us"] == sorted(vera["mean_us"])
+    assert dardel["mean_us"] == sorted(dardel["mean_us"])
+
+    # socket-crossing jump on Vera: 30 threads vs 16
+    i16 = vera["threads"].index(16)
+    i30 = vera["threads"].index(30)
+    assert vera["mean_us"][i30] > 1.4 * vera["mean_us"][i16]
+
+    # socket-crossing on Dardel: 128 cores vs 64
+    i64 = dardel["threads"].index(64)
+    i128 = dardel["threads"].index(128)
+    assert dardel["mean_us"][i128] > 1.2 * dardel["mean_us"][i64]
+
+    # SMT jump on Dardel: 254 (SMT siblings) vs 128 (one per core)
+    i254 = dardel["threads"].index(254)
+    assert dardel["mean_us"][i254] > 1.3 * dardel["mean_us"][i128]

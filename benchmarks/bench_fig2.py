@@ -1,0 +1,32 @@
+"""Figure 2: BabelStream execution time vs thread count.
+
+Checks the paper's shape: kernel time falls as threads are added on both
+platforms (bandwidth ramps until the memory controllers saturate), and
+3-array kernels (add/triad) stay slower than 2-array kernels (copy/mul).
+"""
+
+from conftest import run_once
+from repro.harness import experiments
+
+
+def test_figure2(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure2,
+        runs=max(2, scale["runs"] - 1),
+        num_times=scale["reps"],
+        seed=seed,
+        dardel_threads=(2, 16, 64, 128),
+        vera_threads=(2, 8, 30),
+    )
+    print()
+    print(art.render())
+
+    for platform in ("dardel", "vera"):
+        series = art.data[platform]["mean_ms"]
+        # time falls from the first to the last thread count for every kernel
+        for kernel, values in series.items():
+            assert values[-1] < values[0], (platform, kernel, values)
+        # 3-array kernels slower than 2-array kernels at the largest count
+        assert series["triad"][-1] > series["copy"][-1]
+        assert series["add"][-1] > series["mul"][-1]

@@ -1,0 +1,36 @@
+"""Figure 3: scalability of performance variability.
+
+Checks the paper's shape: the worst normalized max across runs grows with
+the thread count for syncbench on Dardel (noise amplification near
+saturation), and the normalized min/max always bracket 1.
+"""
+
+from conftest import run_once
+from repro.harness import experiments
+
+
+def test_figure3(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure3,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        num_times=scale["reps"],
+        seed=seed,
+        dardel_threads=(16, 128, 254),
+        vera_threads=(8, 30),
+    )
+    print()
+    print(art.render())
+
+    # normalized min/max bracket 1 everywhere
+    for panel in art.data.values():
+        for entry in panel.values():
+            assert min(entry["norm_min"]) <= 1.0 + 1e-9
+            assert max(entry["norm_max"]) >= 1.0 - 1e-9
+
+    # variability grows toward saturation for syncbench on Dardel
+    sync = art.data["dardel/syncbench"]
+    worst_16 = max(sync[16]["norm_max"])
+    worst_254 = max(sync[254]["norm_max"])
+    assert worst_254 > worst_16

@@ -1,0 +1,43 @@
+"""Figure 4: the effect of thread pinning on Dardel.
+
+Checks the paper's shape: unpinned syncbench@128 spans orders of magnitude
+(paper: >3 at full scale), unpinned BabelStream spreads several-fold
+(paper: up to 6x), and pinning collapses both.
+"""
+
+from conftest import run_once
+from repro.harness import experiments
+
+
+def test_figure4(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure4,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        num_times=scale["reps"],
+        seed=seed,
+    )
+    print()
+    print(art.render())
+
+    sync = art.data["syncbench@128"]
+    assert sync["unpinned"]["pooled_max_over_min"] > 50.0
+    assert (
+        sync["unpinned"]["pooled_max_over_min"]
+        > 10 * sync["pinned"]["pooled_max_over_min"]
+    )
+
+    stream = art.data["babelstream@128"]
+    assert (
+        stream["unpinned"]["pooled_max_over_min"]
+        > 1.5 * stream["pinned"]["pooled_max_over_min"]
+    )
+
+    # schedbench@16 shows the weakest pinning effect in the paper too
+    # (Figure 4a vs 4d differ only in a few runs); require same ballpark
+    sched = art.data["schedbench@16"]
+    assert (
+        sched["unpinned"]["pooled_max_over_min"]
+        >= 0.95 * sched["pinned"]["pooled_max_over_min"]
+    )

@@ -1,0 +1,33 @@
+"""Figure 5: the effect of SMT on Dardel (ST vs MT at equal thread counts).
+
+Checks the paper's shape: the MT configuration (both hardware threads of
+each core packed) shows markedly higher CV than ST for schedbench and for
+the synchronization constructs the paper highlights.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.harness import experiments
+
+
+def test_figure5(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure5,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        num_times=scale["reps"],
+        seed=seed,
+    )
+    print()
+    print(art.render())
+
+    sched = art.data["schedbench@128"]
+    assert np.mean(sched["MT"]["run_cv"]) > 2 * np.mean(sched["ST"]["run_cv"])
+
+    sync = art.data["syncbench@32"]
+    for construct in ("for", "single", "ordered", "reduction"):
+        st_cv = np.mean(sync["ST"][construct])
+        mt_cv = np.mean(sync["MT"][construct])
+        assert mt_cv > st_cv, construct

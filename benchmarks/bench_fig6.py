@@ -1,0 +1,32 @@
+"""Figure 6: schedbench frequency variation on Vera (1 vs 2 NUMA domains).
+
+Checks the paper's shape: the cross-NUMA configuration logs frequent
+frequency dips (the "brown region") and exhibits higher execution-time
+variability and higher mean time than the single-domain configuration.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.harness import experiments
+
+ONE = "one-numa (cpus 0-15)"
+TWO = "two-numa (cpus 0-7,16-23)"
+
+
+def test_figure6(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure6,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        seed=seed,
+    )
+    print()
+    print(art.render())
+
+    one, two = art.data[ONE], art.data[TWO]
+    assert two["dip_occupancy"] > 5 * max(one["dip_occupancy"], 1e-6)
+    assert two["pooled_cv"] > one["pooled_cv"]
+    assert np.mean(two["run_means"]) > np.mean(one["run_means"])
+    assert two["freq_min_ghz"] < one["freq_min_ghz"] + 1e-9

@@ -1,0 +1,29 @@
+"""Figure 7: syncbench frequency variation on Vera (1 vs 2 NUMA domains).
+
+Same check as Figure 6 for the synchronization micro-benchmark: the
+cross-NUMA runs log frequency dips and show higher reduction times.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.harness import experiments
+
+ONE = "one-numa (cpus 0-15)"
+TWO = "two-numa (cpus 0-7,16-23)"
+
+
+def test_figure7(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure7,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        seed=seed,
+    )
+    print()
+    print(art.render())
+
+    one, two = art.data[ONE], art.data[TWO]
+    assert two["dip_occupancy"] > max(one["dip_occupancy"], 1e-6)
+    assert np.mean(two["run_means"]) > 1.1 * np.mean(one["run_means"])

@@ -1,0 +1,48 @@
+"""Table 2: schedbench dynamic_1 run-to-run execution times.
+
+Regenerates the four columns (Dardel@{4,254}, Vera@{4,30}) and checks the
+paper's quantitative shape: the column ordering and the ~124/154/136.5/165
+ms magnitudes (the simulator is calibrated to land within a few percent).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.harness import experiments
+from repro.units import ms
+
+
+def test_table2(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.table2,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        seed=seed,
+    )
+    print()
+    print(art.render())
+    means = art.data["run_means"]
+
+    # magnitudes; the run *minimum* is the clean-run value (the paper's
+    # Table 2 also contains one +9.5% derated run, its run #9)
+    assert np.median(means["dardel@4"]) == pytest.approx(ms(124.0), rel=0.02)
+    assert np.median(means["vera@4"]) == pytest.approx(ms(136.5), rel=0.02)
+    assert np.min(means["vera@30"]) == pytest.approx(ms(164.7), rel=0.03)
+    assert ms(150) < np.min(means["dardel@254"]) < ms(162)
+
+    # column ordering matches the paper (clean-run values)
+    assert (
+        np.min(means["dardel@4"])
+        < np.min(means["vera@4"])
+        < np.min(means["dardel@254"])
+        < np.min(means["vera@30"])
+    )
+
+    # derated runs, when they occur, sit ~7-12% above the clean level —
+    # the shape of the paper's run #9 (154.2 -> 168.8 ms)
+    col = means["dardel@254"]
+    clean = np.min(col)
+    for value in col:
+        assert value < 1.15 * clean

@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper through the
+experiment drivers in :mod:`repro.harness.experiments` and asserts the
+paper's qualitative shape.  By default the drivers run at a reduced scale
+so the whole harness finishes in a few minutes; set ``REPRO_BENCH_SCALE=full``
+to run at the paper's scale (10 runs x 100 repetitions — expect tens of
+minutes).
+"""
+
+import os
+
+import pytest
+
+
+def _full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """(runs, outer_reps/num_times) for the current scale."""
+    if _full_scale():
+        return {"runs": 10, "reps": 100}
+    return {"runs": 3, "reps": 15}
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return 42
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

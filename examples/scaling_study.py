@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scalability study (the paper's Section 5.1 / Figures 1-3, scaled down).
+
+Sweeps thread counts on both platform models and reports, per count:
+
+* BabelStream triad time (falls with threads — Figure 2),
+* syncbench reduction overhead (grows with threads, jumping at socket
+  boundaries — Figure 1),
+* normalized min/max of repetition times (variability grows near
+  saturation — Figure 3).
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from repro.harness import ExperimentConfig, Runner
+from repro.harness.report import render_series
+from repro.stats import summarize
+
+SWEEPS = {"vera": (2, 8, 16, 30), "dardel": (4, 16, 64, 128)}
+
+
+def main() -> None:
+    for platform, sweep in SWEEPS.items():
+        triad_ms, overhead_us, norm_max = [], [], []
+        for n in sweep:
+            stream = Runner(
+                ExperimentConfig(
+                    platform=platform, benchmark="babelstream", num_threads=n,
+                    places="cores", proc_bind="close", runs=2, seed=3,
+                    benchmark_params={"num_times": 10},
+                )
+            ).run()
+            triad = stream.runs_matrix("triad")
+            triad_ms.append(float(triad.mean()) * 1e3)
+
+            sync = Runner(
+                ExperimentConfig(
+                    platform=platform, benchmark="syncbench", num_threads=n,
+                    places="cores", proc_bind="close", runs=2, seed=3,
+                    benchmark_params={"outer_reps": 20,
+                                      "constructs": ("reduction",)},
+                )
+            ).run()
+            overhead = sync.runs_matrix("reduction.overhead")
+            overhead_us.append(float(overhead.mean()) * 1e6)
+            norm_max.append(
+                max(summarize(row).norm_max
+                    for row in sync.runs_matrix("reduction"))
+            )
+
+        print(f"== {platform} ==")
+        print(render_series("triad time (ms)", sweep, triad_ms, unit="ms"))
+        print(render_series("reduction overhead (us)", sweep, overhead_us,
+                            unit="us"))
+        print(render_series("worst norm max", sweep, norm_max))
+        print()
+
+
+if __name__ == "__main__":
+    main()

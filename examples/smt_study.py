@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""SMT study (the paper's Section 5.3 / Figure 5, scaled down).
+
+Same thread count, two placements on the Dardel model:
+
+* **ST** — ``OMP_PLACES=cores``: one thread per physical core, the second
+  hardware thread left free to absorb OS activity;
+* **MT** — ``OMP_PLACES=threads``: both hardware threads of each core are
+  packed, halving the core count.
+
+The paper's finding: MT makes execution markedly less stable (higher CV),
+especially for synchronization constructs.
+
+Run with::
+
+    python examples/smt_study.py
+"""
+
+import numpy as np
+
+from repro.harness import ExperimentConfig, Runner
+from repro.stats import summarize
+
+CONSTRUCTS = ("for", "single", "ordered", "reduction")
+
+
+def cv_per_construct(places: str) -> dict[str, float]:
+    cfg = ExperimentConfig(
+        platform="dardel",
+        benchmark="syncbench",
+        num_threads=32,
+        places=places,
+        proc_bind="close",
+        runs=4,
+        seed=21,
+        benchmark_params={"outer_reps": 40, "constructs": CONSTRUCTS},
+    )
+    result = Runner(cfg).run()
+    return {
+        c: float(np.mean([summarize(row).cv for row in result.runs_matrix(c)]))
+        for c in CONSTRUCTS
+    }
+
+
+def main() -> None:
+    st = cv_per_construct("cores")    # 32 cores, siblings free
+    mt = cv_per_construct("threads")  # 16 cores, both siblings packed
+
+    print("syncbench @ dardel, 32 threads: mean CV per construct\n")
+    print(f"{'construct':>12} {'ST':>9} {'MT':>9} {'MT/ST':>7}")
+    for c in CONSTRUCTS:
+        ratio = mt[c] / st[c] if st[c] else float("inf")
+        print(f"{c:>12} {st[c]:>9.4f} {mt[c]:>9.4f} {ratio:>6.1f}x")
+    print(
+        "\npaper (Figure 5b/5e): the ST configuration exhibits better"
+        "\nperformance stability; MT inflates the CV of for/single/"
+        "ordered/reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Benchmark implementations.
+
+Faithful re-implementations of the paper's three benchmarks against the
+simulated node:
+
+* :mod:`repro.bench.epcc` — the EPCC OpenMP micro-benchmark machinery
+  (``syncbench`` and ``schedbench`` with the paper's Table 1 parameters);
+* :mod:`repro.bench.babelstream` — BabelStream's five vector kernels at
+  the paper's array size of 2^25 doubles;
+* :mod:`repro.bench.registry` — name-based lookup used by the CLI and the
+  experiment harness.
+"""
+
+from repro.bench.epcc.common import EpccStats, epcc_stats, target_innerreps
+from repro.bench.epcc.syncbench import (
+    ConstructMeasurement,
+    Syncbench,
+    SyncbenchParams,
+)
+from repro.bench.epcc.schedbench import (
+    Schedbench,
+    SchedbenchParams,
+    ScheduleMeasurement,
+)
+from repro.bench.babelstream import (
+    BabelStream,
+    BabelStreamParams,
+    StreamMeasurement,
+    KERNEL_BYTE_FACTORS,
+)
+from repro.bench.registry import available_benchmarks, get_benchmark
+
+__all__ = [
+    "EpccStats",
+    "epcc_stats",
+    "target_innerreps",
+    "Syncbench",
+    "SyncbenchParams",
+    "ConstructMeasurement",
+    "Schedbench",
+    "SchedbenchParams",
+    "ScheduleMeasurement",
+    "BabelStream",
+    "BabelStreamParams",
+    "StreamMeasurement",
+    "KERNEL_BYTE_FACTORS",
+    "available_benchmarks",
+    "get_benchmark",
+]

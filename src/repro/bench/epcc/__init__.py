@@ -1,0 +1,27 @@
+"""EPCC OpenMP micro-benchmark suite (modelled).
+
+Re-implements the measurement methodology of Bull's EPCC micro-benchmarks:
+a reference (serial) timing of the delay loop, inner-repetition targeting
+so each test lasts ~``targettesttime``, ``outer_repetitions`` timed tests,
+and the 3-sigma outlier statistics the suite prints.
+
+Paper parameters (Table 1): both benchmarks use 100 outer repetitions and
+a 1000 us target test time; ``schedbench`` uses a 15 us delay and
+``itersperthr = 8192``; ``syncbench`` uses a 0.1 us delay.
+"""
+
+from repro.bench.epcc.common import EpccStats, epcc_stats, target_innerreps
+from repro.bench.epcc.syncbench import ConstructMeasurement, Syncbench, SyncbenchParams
+from repro.bench.epcc.schedbench import Schedbench, SchedbenchParams, ScheduleMeasurement
+
+__all__ = [
+    "EpccStats",
+    "epcc_stats",
+    "target_innerreps",
+    "Syncbench",
+    "SyncbenchParams",
+    "ConstructMeasurement",
+    "Schedbench",
+    "SchedbenchParams",
+    "ScheduleMeasurement",
+]

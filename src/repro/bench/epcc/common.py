@@ -1,0 +1,93 @@
+"""EPCC measurement machinery shared by syncbench and schedbench.
+
+The EPCC suite's procedure, reproduced here:
+
+1. calibrate ``delay(delaylength)`` so one call lasts ``delaytime`` — in
+   the simulator the calibration frequency is the platform's single-core
+   boost, so the *nominal* delay stretches when a loaded machine runs at a
+   lower all-core frequency, exactly as on real hardware;
+2. choose ``innerreps`` by doubling from 1 until ``innerreps x
+   estimated-iteration-time`` reaches the target test time;
+3. run ``outer_repetitions`` timed tests and report mean / sd / min / max
+   plus the count of 3-sigma outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class EpccStats:
+    """The statistics an EPCC benchmark prints for one measurement."""
+
+    mean: float
+    sd: float
+    minimum: float
+    maximum: float
+    n: int
+    n_outliers: int
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (the paper's Figure 5 metric)."""
+        return self.sd / self.mean if self.mean else float("inf")
+
+    @property
+    def norm_min(self) -> float:
+        """Minimum normalized to the mean (the paper's Figure 3 metric)."""
+        return self.minimum / self.mean if self.mean else float("nan")
+
+    @property
+    def norm_max(self) -> float:
+        """Maximum normalized to the mean."""
+        return self.maximum / self.mean if self.mean else float("nan")
+
+
+def epcc_stats(times: np.ndarray, outlier_sigmas: float = 3.0) -> EpccStats:
+    """EPCC-style statistics over repetition times.
+
+    Outliers are repetitions more than ``outlier_sigmas`` standard
+    deviations from the mean (counted, not removed — matching the suite's
+    output).
+    """
+    t = np.asarray(times, dtype=np.float64)
+    if t.size == 0:
+        raise BenchmarkError("no repetitions to summarize")
+    if np.any(t < 0):
+        raise BenchmarkError("negative repetition time")
+    mean = float(t.mean())
+    sd = float(t.std(ddof=1)) if t.size > 1 else 0.0
+    n_out = int(np.count_nonzero(np.abs(t - mean) > outlier_sigmas * sd)) if sd else 0
+    return EpccStats(
+        mean=mean,
+        sd=sd,
+        minimum=float(t.min()),
+        maximum=float(t.max()),
+        n=int(t.size),
+        n_outliers=n_out,
+    )
+
+
+def target_innerreps(test_time: float, iter_time_estimate: float,
+                     max_reps: int = 1 << 22) -> int:
+    """EPCC's inner-repetition doubling: smallest power of two ``p`` with
+    ``p * iter_time_estimate >= test_time``.
+
+    >>> target_innerreps(1e-3, 1e-5)
+    128
+    """
+    if test_time <= 0:
+        raise BenchmarkError(f"test time must be positive, got {test_time}")
+    if iter_time_estimate <= 0:
+        raise BenchmarkError(
+            f"iteration estimate must be positive, got {iter_time_estimate}"
+        )
+    p = 1
+    while p * iter_time_estimate < test_time and p < max_reps:
+        p <<= 1
+    return p

@@ -1,0 +1,173 @@
+"""EPCC ``syncbench``: synchronization-construct overheads.
+
+For every construct the benchmark runs ``outer_reps`` timed tests; each
+test executes ``innerreps`` instances of the construct with a
+``delay(delaytime)`` body and reports the per-construct overhead
+``test_time / innerreps - reference``.
+
+Modelling notes (mirroring the real suite's code structure):
+
+* *parallel-type* constructs (PARALLEL, FOR, PARALLEL FOR, BARRIER,
+  SINGLE, REDUCTION): all threads execute the delay concurrently each
+  inner iteration, so per-thread work is ``innerreps x delay`` and the
+  construct cost lands on the critical path ``innerreps`` times;
+* *serialized* constructs (CRITICAL, LOCK/UNLOCK, ORDERED, ATOMIC): the
+  suite normalizes so ``innerreps`` total entries happen; the whole body
+  is critical-path: ``innerreps x (delay + handoff)``;
+* constructs that open a parallel region per instance (PARALLEL,
+  PARALLEL FOR, REDUCTION) additionally suffer OS wake-up hazards when
+  the team is unbound: each region fork is a fresh chance for a worker to
+  land behind another runnable thread, stalling the whole team for
+  milliseconds — the mechanism behind the 3-orders-of-magnitude spread of
+  Figure 4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.epcc.common import EpccStats, epcc_stats, target_innerreps
+from repro.errors import BenchmarkError
+from repro.omp.constructs import CONSTRUCT_PROFILES
+from repro.omp.region import NoiseMode
+from repro.omp.runtime import RunContext
+from repro.types import SyncConstruct
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class SyncbenchParams:
+    """Table 1 parameters for syncbench."""
+
+    outer_reps: int = 100
+    delay_time: float = us(0.1)
+    test_time: float = us(1000.0)
+    rep_gap: float = us(50.0)
+    smt_efficiency: float = 0.95  # the delay loop co-schedules well on SMT
+
+    def __post_init__(self) -> None:
+        if self.outer_reps <= 0:
+            raise BenchmarkError("outer_reps must be positive")
+        if self.delay_time < 0 or self.test_time <= 0 or self.rep_gap < 0:
+            raise BenchmarkError("invalid syncbench timing parameters")
+        if not 0.0 < self.smt_efficiency <= 1.0:
+            raise BenchmarkError("smt_efficiency outside (0, 1]")
+
+
+@dataclass(frozen=True)
+class ConstructMeasurement:
+    """One construct's measurement within one run."""
+
+    construct: SyncConstruct
+    innerreps: int
+    reference: float  # reference time per logical iteration (seconds)
+    rep_times: np.ndarray = field(compare=False)  # outer_reps test times
+
+    @property
+    def overheads(self) -> np.ndarray:
+        """Per-construct overhead per outer rep (seconds), EPCC-style."""
+        return self.rep_times / self.innerreps - self.reference
+
+    @property
+    def stats(self) -> EpccStats:
+        return epcc_stats(self.rep_times)
+
+    @property
+    def overhead_stats(self) -> EpccStats:
+        return epcc_stats(np.maximum(self.overheads, 0.0))
+
+
+class Syncbench:
+    """The syncbench driver; one instance is reusable across runs."""
+
+    def __init__(self, params: SyncbenchParams | None = None):
+        self.params = params if params is not None else SyncbenchParams()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _iter_time_estimate(self, ctx: RunContext, construct: SyncConstruct) -> float:
+        """Expected duration of one logical inner iteration."""
+        cost = ctx.sync_cost.construct_cost(construct, ctx.team)
+        return self.params.delay_time + cost
+
+    def _fork_hazard_extra(
+        self, ctx: RunContext, innerreps: int, rng: np.random.Generator
+    ) -> float:
+        """Extra critical-path time from unbound per-region wake hazards."""
+        sched = ctx.runtime.sched_model.params
+        n = ctx.team.n_threads
+        load = len(set(ctx.team.cpus)) / ctx.machine.n_cpus
+        p_single = min(1.0, sched.stacking_prob_per_thread * (1.0 + 8.0 * load))
+        p_region = 1.0 - (1.0 - p_single) ** n
+        n_events = int(rng.poisson(innerreps * p_region))
+        if n_events == 0:
+            return 0.0
+        delays = np.minimum(
+            rng.lognormal(
+                np.log(sched.sched_delay_median), sched.sched_delay_sigma, size=n_events
+            ),
+            sched.sched_delay_cap,
+        )
+        return float(delays.sum())
+
+    # -- measurement ---------------------------------------------------------
+
+    def measure(self, ctx: RunContext, construct: SyncConstruct) -> ConstructMeasurement:
+        """Measure one construct for one run (outer_reps repetitions)."""
+        p = self.params
+        profile = CONSTRUCT_PROFILES[construct]
+        iter_est = self._iter_time_estimate(ctx, construct)
+        innerreps = target_innerreps(p.test_time, iter_est)
+        rng = ctx.stream("syncbench", construct.value)
+
+        rep_times = np.empty(p.outer_reps)
+        for rep in range(p.outer_reps):
+            if not ctx.team.bound:
+                ctx.refork_unbound(rng)
+            team = ctx.team
+            cost = ctx.sync_cost.construct_cost(construct, team)
+            jitter = ctx.sync_cost.sample_multiplier(team, rng)
+
+            if profile.serialized:
+                work = np.zeros(team.n_threads)
+                sync_overhead = innerreps * (p.delay_time + cost * jitter)
+            else:
+                work = np.full(team.n_threads, innerreps * p.delay_time)
+                sync_overhead = innerreps * cost * jitter
+
+            if profile.has_fork and not team.bound:
+                sync_overhead += self._fork_hazard_extra(ctx, innerreps, rng)
+
+            result = ctx.executor.execute(
+                ctx.t,
+                team,
+                work,
+                noise_mode=NoiseMode.SYNC_SUM,
+                sync_overhead=sync_overhead,
+                wake_delays=ctx.fork.wake_delays if rep == 0 or not team.bound else None,
+                stacking_episodes=ctx.fork.episodes,
+                smt_efficiency=p.smt_efficiency,
+            )
+            rep_times[rep] = result.duration
+            ctx.advance(result.duration + p.rep_gap)
+
+        return ConstructMeasurement(
+            construct=construct,
+            innerreps=innerreps,
+            reference=p.delay_time,
+            rep_times=rep_times,
+        )
+
+    def measure_all(
+        self, ctx: RunContext, constructs: tuple[SyncConstruct, ...] | None = None
+    ) -> dict[SyncConstruct, ConstructMeasurement]:
+        """Measure several constructs sequentially along the run timeline."""
+        selected = constructs if constructs is not None else tuple(SyncConstruct)
+        return {c: self.measure(ctx, c) for c in selected}
+
+    def horizon_estimate(self, ctx_or_none=None) -> float:
+        """Rough run duration for horizon sizing: reps x test_time x slack."""
+        p = self.params
+        return p.outer_reps * (p.test_time * 3.0 + p.rep_gap) + 0.5

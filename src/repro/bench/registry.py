@@ -1,0 +1,35 @@
+"""Benchmark registry: name-based lookup for the CLI and harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.babelstream import BabelStream
+from repro.bench.epcc.schedbench import Schedbench
+from repro.bench.epcc.syncbench import Syncbench
+from repro.errors import BenchmarkError
+
+_BENCHMARKS: dict[str, Callable[[], object]] = {
+    "syncbench": Syncbench,
+    "schedbench": Schedbench,
+    "babelstream": BabelStream,
+}
+
+
+def get_benchmark(name: str):
+    """Instantiate a benchmark driver by name (default parameters).
+
+    >>> type(get_benchmark("syncbench")).__name__
+    'Syncbench'
+    """
+    try:
+        factory = _BENCHMARKS[name.lower()]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown benchmark {name!r}; choose from {sorted(_BENCHMARKS)}"
+        ) from None
+    return factory()
+
+
+def available_benchmarks() -> tuple[str, ...]:
+    return tuple(sorted(_BENCHMARKS))

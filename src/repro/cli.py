@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Examples
+--------
+List what's available::
+
+    repro-omp list
+
+Regenerate a paper artifact (quick scale)::
+
+    repro-omp experiment table2 --runs 5 --reps 30 --seed 1
+
+Run a custom configuration and save the raw result::
+
+    repro-omp run --platform dardel --benchmark syncbench --threads 128 \
+        --proc-bind close --runs 10 --out result.json
+
+Show a platform description::
+
+    repro-omp platform dardel
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.registry import available_benchmarks
+from repro.errors import ReproError
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.runner import Runner
+from repro.platform import available_platforms, get_platform
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-omp",
+        description=(
+            "Reproduction of 'Analysis and Characterization of Performance "
+            "Variability for OpenMP Runtime' (SC-W 2023) on a simulated node."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list platforms, benchmarks and experiments")
+
+    p_platform = sub.add_parser("platform", help="describe a platform preset")
+    p_platform.add_argument("name", choices=available_platforms())
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    p_exp.add_argument("--runs", type=int, default=None, help="runs per config")
+    p_exp.add_argument("--reps", type=int, default=None,
+                       help="outer repetitions / stream iterations")
+    p_exp.add_argument("--seed", type=int, default=42)
+
+    p_run = sub.add_parser("run", help="run one custom configuration")
+    p_run.add_argument("--platform", choices=available_platforms(), default="vera")
+    p_run.add_argument("--benchmark", choices=available_benchmarks(),
+                       default="syncbench")
+    p_run.add_argument("--threads", type=int, default=4)
+    p_run.add_argument("--places", default="cores")
+    p_run.add_argument("--proc-bind", dest="proc_bind", default="close",
+                       choices=["false", "true", "close", "spread", "master"])
+    p_run.add_argument("--schedule", default="static",
+                       choices=["static", "dynamic", "guided"])
+    p_run.add_argument("--chunk", type=int, default=None)
+    p_run.add_argument("--runs", type=int, default=10)
+    p_run.add_argument("--reps", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--freq-log", action="store_true")
+    p_run.add_argument("--out", default=None, help="save result JSON here")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("platforms:  ", ", ".join(available_platforms()))
+    print("benchmarks: ", ", ".join(available_benchmarks()))
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_platform(name: str) -> int:
+    print(get_platform(name).describe())
+    return 0
+
+
+def _cmd_experiment(name: str, runs: int | None, reps: int | None, seed: int) -> int:
+    driver = ALL_EXPERIMENTS[name]
+    kwargs: dict = {"seed": seed}
+    if runs is not None:
+        kwargs["runs"] = runs
+    if reps is not None:
+        # each driver names its repetition knob differently
+        import inspect
+
+        sig = inspect.signature(driver)
+        for key in ("outer_reps", "num_times"):
+            if key in sig.parameters:
+                kwargs[key] = reps
+    artifact = driver(**kwargs)
+    print(artifact.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params: dict = {}
+    if args.reps is not None:
+        if args.benchmark == "babelstream":
+            params["num_times"] = args.reps
+        else:
+            params["outer_reps"] = args.reps
+    config = ExperimentConfig(
+        platform=args.platform,
+        benchmark=args.benchmark,
+        num_threads=args.threads,
+        places=None if args.proc_bind == "false" else args.places,
+        proc_bind=args.proc_bind,
+        schedule=args.schedule,
+        schedule_chunk=args.chunk,
+        runs=args.runs,
+        seed=args.seed,
+        benchmark_params=params,
+        freq_logging=args.freq_log,
+    )
+    result = Runner(config).run()
+    for label, report in result.reports().items():
+        print(report.render())
+        print()
+    if args.out:
+        result.save(args.out)
+        print(f"saved raw result to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "platform":
+            return _cmd_platform(args.name)
+        if args.command == "experiment":
+            return _cmd_experiment(args.name, args.runs, args.reps, args.seed)
+        if args.command == "run":
+            return _cmd_run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from simulation-internal problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, runtime or platform was configured inconsistently."""
+
+
+class TopologyError(ConfigurationError):
+    """A machine topology description is invalid (e.g. zero cores)."""
+
+
+class PlacesSyntaxError(ConfigurationError):
+    """An ``OMP_PLACES`` string could not be parsed."""
+
+
+class BindingError(ConfigurationError):
+    """Thread binding could not be satisfied (e.g. more threads than places
+    with a strict policy, or a place referencing a non-existent CPU)."""
+
+
+class ScheduleError(ConfigurationError):
+    """An OpenMP loop schedule specification is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TraceError(SimulationError):
+    """A piecewise trace was queried outside its domain or built unsorted."""
+
+
+class FrequencyError(SimulationError):
+    """The DVFS subsystem was driven with invalid frequencies."""
+
+
+class NoiseModelError(SimulationError):
+    """A noise source produced or was configured with invalid events."""
+
+
+class MemoryModelError(SimulationError):
+    """The NUMA memory model was queried inconsistently."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark was invoked with unusable parameters."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness failed (unknown experiment, bad result file)."""

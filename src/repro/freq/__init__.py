@@ -1,0 +1,49 @@
+"""Frequency / DVFS substrate.
+
+Generates per-core frequency traces (right-continuous step signals) for a
+simulation window, combining:
+
+* a **boost table** — the sustainable frequency as a function of how many
+  cores are active (turbo licensing / package power budget),
+* a **governor** — the policy picking the target frequency (the paper's
+  Vera runs the ``performance`` governor),
+* a **dip process** — stochastic transient frequency drops whose rate grows
+  when the workload spans NUMA domains (the behaviour the paper observes on
+  Vera in Figures 6 and 7; Dardel is configured much steadier),
+* per-core p-state jitter quantized to the platform's frequency step.
+
+The resulting :class:`~repro.freq.dvfs.FrequencyPlan` answers the execution
+model's question "how long does it take cpu *c* to retire *W* cycles
+starting at time *t*" and backs the simulated sysfs cpufreq tree that the
+frequency logger reads.
+"""
+
+from repro.freq.power import BoostTable
+from repro.freq.governor import (
+    Governor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    OndemandGovernor,
+    SchedutilGovernor,
+    make_governor,
+)
+from repro.freq.variation import DerateProcess, DipProcess, FrequencyDip
+from repro.freq.dvfs import FrequencyModel, FrequencyPlan, FrequencySpec
+from repro.freq.sysfs import CpuFreqSysfs
+
+__all__ = [
+    "BoostTable",
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "OndemandGovernor",
+    "SchedutilGovernor",
+    "make_governor",
+    "DerateProcess",
+    "DipProcess",
+    "FrequencyDip",
+    "FrequencyModel",
+    "FrequencyPlan",
+    "FrequencySpec",
+    "CpuFreqSysfs",
+]

@@ -1,0 +1,240 @@
+"""DVFS model: per-core frequency traces for a simulation window.
+
+:class:`FrequencyModel` combines the platform's :class:`FrequencySpec`
+(p-state envelope, boost table, jitter, dip process) with a governor and
+the set of active CPUs to produce a :class:`FrequencyPlan` — one
+:class:`~repro.sim.trace.PiecewiseConstant` trace per logical CPU.
+
+The plan answers the two questions the rest of the simulator asks:
+
+* *execution*: how long does cpu *c* need to retire *W* cycles from time
+  *t*  (:meth:`FrequencyPlan.duration_for_cycles`), and
+* *observation*: what frequency would the sysfs logger read at time *t*
+  (:meth:`FrequencyPlan.freq_at`, :meth:`FrequencyPlan.snapshot`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FrequencyError
+from repro.freq.governor import Governor
+from repro.freq.power import BoostTable
+from repro.freq.variation import DerateProcess, DipProcess, FrequencyDip
+from repro.sim.trace import PiecewiseConstant
+from repro.topology.hwthread import Machine
+
+
+@dataclass(frozen=True)
+class FrequencySpec:
+    """Static frequency behaviour of a platform.
+
+    Attributes
+    ----------
+    min_hz / base_hz:
+        Lowest p-state and nominal (guaranteed) frequency.
+    boost:
+        Turbo license table (active cores -> sustainable frequency).
+    pstate_step_hz:
+        Frequency quantization step (traces snap to this grid, like real
+        p-states; Intel uses 100 MHz bins).
+    jitter_amplitude:
+        Relative half-width of benign per-core frequency wobble (e.g. 0.004
+        = ±0.4%); models measurement/board-level variation.
+    jitter_rate:
+        Poisson rate (per second per core) of wobble re-draws.
+    dips:
+        Transient dip process (see :mod:`repro.freq.variation`).
+    """
+
+    min_hz: float
+    base_hz: float
+    boost: BoostTable
+    pstate_step_hz: float = 25e6
+    jitter_amplitude: float = 0.0
+    jitter_rate: float = 0.0
+    dips: DipProcess = field(default_factory=DipProcess)
+    derate: DerateProcess = field(default_factory=DerateProcess)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_hz <= self.base_hz:
+            raise FrequencyError("need 0 < min_hz <= base_hz")
+        if self.base_hz > self.boost.single_core_boost + 1e-6:
+            raise FrequencyError("base frequency above single-core boost")
+        if self.pstate_step_hz <= 0:
+            raise FrequencyError("pstate step must be positive")
+        if self.jitter_amplitude < 0 or self.jitter_rate < 0:
+            raise FrequencyError("jitter parameters must be non-negative")
+
+    @property
+    def calibration_hz(self) -> float:
+        """Frequency of a lone busy core — what delay-loop calibration sees."""
+        return self.boost.single_core_boost
+
+
+class FrequencyPlan:
+    """Per-CPU frequency traces over one run window."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        traces: Mapping[int, PiecewiseConstant],
+        window_start: float,
+        calibration_hz: float,
+        dips: Sequence[FrequencyDip] = (),
+    ):
+        if set(traces) != set(range(machine.n_cpus)):
+            raise FrequencyError("plan must cover every cpu exactly once")
+        self.machine = machine
+        self.traces = dict(traces)
+        self.window_start = float(window_start)
+        self.calibration_hz = float(calibration_hz)
+        self.dips = tuple(dips)
+
+    def trace(self, cpu: int) -> PiecewiseConstant:
+        return self.traces[cpu]
+
+    def freq_at(self, cpu: int, t: float) -> float:
+        return float(self.traces[cpu].value_at(t))
+
+    def duration_for_cycles(self, cpu: int, start: float, cycles: float) -> float:
+        """Seconds needed for *cpu* to retire *cycles* starting at *start*."""
+        if cycles < 0:
+            raise FrequencyError(f"negative cycle count {cycles}")
+        if cycles == 0:
+            return 0.0
+        end = self.traces[cpu].invert_integral(start, cycles)
+        return end - start
+
+    def cycles_in(self, cpu: int, start: float, end: float) -> float:
+        """Cycles retired by *cpu* over ``[start, end]``."""
+        return self.traces[cpu].integrate(start, end)
+
+    def snapshot(self, t: float) -> np.ndarray:
+        """Frequencies (Hz) of all CPUs at time *t*, indexed by cpu id."""
+        return np.asarray(
+            [self.traces[c].value_at(t) for c in range(self.machine.n_cpus)]
+        )
+
+    def mean_freq(self, cpu: int, start: float, end: float) -> float:
+        return self.traces[cpu].mean(start, end)
+
+
+class FrequencyModel:
+    """Builds :class:`FrequencyPlan` instances for run windows."""
+
+    def __init__(self, machine: Machine, spec: FrequencySpec):
+        self.machine = machine
+        self.spec = spec
+
+    # -- helpers -----------------------------------------------------------
+
+    def _quantize(self, hz: np.ndarray | float) -> np.ndarray | float:
+        step = self.spec.pstate_step_hz
+        return np.maximum(self.spec.min_hz, np.round(np.asarray(hz) / step) * step)
+
+    def steady_target(
+        self, governor: Governor, active_cores: int, busy: bool
+    ) -> float:
+        """Steady-state target of one core under *governor*."""
+        limit = self.spec.boost.freq_for(max(1, active_cores))
+        utilization = 1.0 if busy else 0.0
+        return float(
+            self._quantize(governor.target_freq(self.spec.min_hz, limit, utilization))
+        )
+
+    # -- plan construction ---------------------------------------------------
+
+    def plan(
+        self,
+        window_start: float,
+        window_end: float,
+        active_cpus: Sequence[int],
+        governor: Governor,
+        rng: np.random.Generator,
+    ) -> FrequencyPlan:
+        """Generate traces for ``[window_start, window_end)``.
+
+        *active_cpus* are the CPUs hosting benchmark threads; they determine
+        the boost limit (via distinct active cores) and whether the dip
+        process runs in cross-NUMA mode.  Traces extend past *window_end*
+        (the last segment holds), so queries slightly beyond the horizon are
+        safe.
+        """
+        if window_end <= window_start:
+            raise FrequencyError("empty frequency window")
+        machine, spec = self.machine, self.spec
+        active = list(dict.fromkeys(active_cpus))
+        active_cores = machine.cores_spanned(active) if active else 0
+        cross_numa = machine.numa_span(active) > 1 if active else False
+        busy_set = set(active)
+
+        socket_ids = tuple(
+            sorted({machine.hwthread(c).socket_id for c in active})
+        ) or tuple(s.socket_id for s in machine.sockets)
+        occupancy = (active_cores / machine.n_cores) if active else None
+        dips = spec.dips.sample(
+            window_start, window_end, socket_ids, cross_numa, rng,
+            occupancy=occupancy,
+        )
+        dips_by_socket: dict[int, list[FrequencyDip]] = {}
+        for dip in dips:
+            dips_by_socket.setdefault(dip.socket_id, []).append(dip)
+
+        # run-scale derate episodes (one draw per socket hosting work)
+        load = active_cores / machine.n_cores
+        derate_by_socket = {
+            s: spec.derate.sample_factor(load, rng) for s in socket_ids
+        }
+
+        traces: dict[int, PiecewiseConstant] = {}
+        horizon = window_end - window_start
+        for cpu in range(machine.n_cpus):
+            base = self.steady_target(governor, active_cores, cpu in busy_set)
+            base *= derate_by_socket.get(machine.hwthread(cpu).socket_id, 1.0)
+            # breakpoints: window start + jitter re-draws + dip edges
+            times = [window_start]
+            if spec.jitter_rate > 0:
+                n_jit = int(rng.poisson(spec.jitter_rate * horizon))
+                if n_jit:
+                    times.extend(
+                        (window_start + rng.random(n_jit) * horizon).tolist()
+                    )
+            socket_id = machine.hwthread(cpu).socket_id
+            cpu_dips = dips_by_socket.get(socket_id, ())
+            for dip in cpu_dips:
+                times.append(dip.start)
+                times.append(dip.start + dip.duration)
+            times = sorted({round(t, 12) for t in times if t >= window_start})
+            t_arr = np.asarray(times)
+
+            # multiplier per segment: benign jitter (resampled at breakpoints)
+            if spec.jitter_amplitude > 0:
+                jitter = 1.0 + rng.uniform(
+                    -spec.jitter_amplitude, spec.jitter_amplitude, size=t_arr.size
+                )
+            else:
+                jitter = np.ones(t_arr.size)
+            values = base * jitter
+            # apply dips: segment value scaled by deepest overlapping dip
+            for dip in cpu_dips:
+                lo, hi = dip.start, dip.start + dip.duration
+                mask = (t_arr >= lo - 1e-12) & (t_arr < hi - 1e-12)
+                values[mask] = np.minimum(values[mask], base * jitter[mask] * dip.depth)
+            values = np.asarray(self._quantize(values), dtype=np.float64)
+
+            # collapse equal consecutive values to keep traces small
+            keep = np.ones(t_arr.size, dtype=bool)
+            keep[1:] = values[1:] != values[:-1]
+            traces[cpu] = PiecewiseConstant(t_arr[keep], values[keep])
+
+        return FrequencyPlan(
+            machine,
+            traces,
+            window_start,
+            calibration_hz=spec.calibration_hz,
+            dips=dips,
+        )

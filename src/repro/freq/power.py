@@ -1,0 +1,79 @@
+"""Package power / turbo-license model.
+
+Modern x86 parts cannot sustain their single-core boost on all cores: the
+package power budget caps the all-core frequency.  Vendors publish this as a
+step table "max turbo vs. number of active cores".  :class:`BoostTable`
+captures that table and is the steady-state input to the governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import FrequencyError
+
+
+@dataclass(frozen=True)
+class BoostTable:
+    """Sustainable frequency as a step function of active core count.
+
+    Parameters
+    ----------
+    steps:
+        Sequence of ``(max_active_cores, freq_hz)`` pairs with strictly
+        increasing core counts and non-increasing frequencies.  A query with
+        more active cores than the last entry returns the last frequency
+        (the all-core sustained level).
+
+    Examples
+    --------
+    >>> t = BoostTable.from_ghz([(2, 3.7), (16, 3.1), (32, 2.8)])
+    >>> t.freq_for(1) / 1e9
+    3.7
+    >>> t.freq_for(20) / 1e9
+    2.8
+    """
+
+    steps: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise FrequencyError("boost table needs at least one step")
+        prev_n, prev_f = 0, float("inf")
+        for n, f in self.steps:
+            if n <= prev_n:
+                raise FrequencyError("boost table core counts must increase")
+            if f <= 0:
+                raise FrequencyError(f"non-positive frequency {f}")
+            if f > prev_f:
+                raise FrequencyError("boost table frequencies must not increase")
+            prev_n, prev_f = n, f
+
+    @classmethod
+    def from_ghz(cls, steps: Sequence[tuple[int, float]]) -> "BoostTable":
+        """Build from ``(max_active_cores, freq_GHz)`` pairs."""
+        return cls(tuple((int(n), float(f) * 1e9) for n, f in steps))
+
+    @classmethod
+    def flat(cls, freq_hz: float) -> "BoostTable":
+        """A table with no active-core dependence (fixed-frequency parts)."""
+        return cls(((1, float(freq_hz)),))
+
+    def freq_for(self, active_cores: int) -> float:
+        """Sustainable frequency (Hz) with *active_cores* busy cores."""
+        if active_cores < 0:
+            raise FrequencyError(f"negative active core count {active_cores}")
+        for max_n, f in self.steps:
+            if active_cores <= max_n:
+                return f
+        return self.steps[-1][1]
+
+    @property
+    def single_core_boost(self) -> float:
+        """Frequency with one active core — the delay-calibration frequency."""
+        return self.steps[0][1]
+
+    @property
+    def all_core_floor(self) -> float:
+        return self.steps[-1][1]

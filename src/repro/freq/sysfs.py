@@ -1,0 +1,77 @@
+"""Simulated Linux CPUFreq sysfs interface.
+
+The paper's frequency logger is "a background Python script ... [that reads]
+the frequencies of all cores through the sysfs interface of the Linux
+CPUFreq".  :class:`CpuFreqSysfs` reproduces that interface on top of a
+:class:`~repro.freq.dvfs.FrequencyPlan`: reads are addressed by the real
+sysfs paths and return the strings Linux would return (frequencies in kHz).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import FrequencyError
+from repro.freq.dvfs import FrequencyPlan, FrequencySpec
+from repro.freq.governor import available_governors
+
+_PATH_RE = re.compile(
+    r"^/sys/devices/system/cpu/cpu(?P<cpu>\d+)/cpufreq/(?P<attr>[a-z_]+)$"
+)
+
+
+class CpuFreqSysfs:
+    """Read-only view of ``/sys/devices/system/cpu/cpu*/cpufreq``.
+
+    Reads are *time-indexed*: the caller supplies the simulated time of the
+    read, exactly the way the frequency logger samples the machine.
+    """
+
+    def __init__(self, spec: FrequencySpec, plan: FrequencyPlan, governor_name: str):
+        self.spec = spec
+        self.plan = plan
+        self.governor_name = governor_name
+
+    # -- path-level interface ----------------------------------------------
+
+    def read(self, path: str, t: float) -> str:
+        """Read a sysfs attribute at simulated time *t*.
+
+        Supported attributes: ``scaling_cur_freq``, ``scaling_min_freq``,
+        ``scaling_max_freq``, ``cpuinfo_min_freq``, ``cpuinfo_max_freq``,
+        ``scaling_governor``, ``scaling_available_governors``.
+        """
+        m = _PATH_RE.match(path)
+        if not m:
+            raise FrequencyError(f"unrecognized cpufreq path {path!r}")
+        cpu = int(m.group("cpu"))
+        if cpu >= self.plan.machine.n_cpus:
+            raise FrequencyError(f"no cpu{cpu} on {self.plan.machine.name}")
+        attr = m.group("attr")
+        if attr == "scaling_cur_freq":
+            return str(self._khz(self.plan.freq_at(cpu, t)))
+        if attr in ("scaling_min_freq", "cpuinfo_min_freq"):
+            return str(self._khz(self.spec.min_hz))
+        if attr in ("scaling_max_freq", "cpuinfo_max_freq"):
+            return str(self._khz(self.spec.boost.single_core_boost))
+        if attr == "scaling_governor":
+            return self.governor_name
+        if attr == "scaling_available_governors":
+            return " ".join(available_governors())
+        raise FrequencyError(f"unsupported cpufreq attribute {attr!r}")
+
+    @staticmethod
+    def _khz(hz: float) -> int:
+        return int(round(hz / 1e3))
+
+    def path_for(self, cpu: int, attr: str = "scaling_cur_freq") -> str:
+        """The sysfs path the real logger would open for *cpu*."""
+        return f"/sys/devices/system/cpu/cpu{cpu}/cpufreq/{attr}"
+
+    # -- bulk interface (what the logger actually uses) -----------------------
+
+    def snapshot_khz(self, t: float) -> np.ndarray:
+        """``scaling_cur_freq`` of every CPU at time *t*, in kHz."""
+        return np.round(self.plan.snapshot(t) / 1e3).astype(np.int64)

@@ -1,0 +1,161 @@
+"""Stochastic frequency-dip process.
+
+The paper observes (Section 5.4, Figures 6-7) that on Vera, runs whose
+threads span two NUMA domains exhibit *frequent transient frequency drops*
+— visible as a wide band in the logger traces — that correlate with higher
+execution-time variability, while single-domain runs and Dardel stay
+steady.  The physical causes (uncore power management, remote-traffic
+throttling, AVX-like license drops) are not observable from user space;
+what the paper characterizes is the resulting marked point process on the
+frequency signal.  :class:`DipProcess` models exactly that observable:
+
+* dips arrive as a Poisson process whose rate is ``base_rate`` for
+  single-domain teams plus ``cross_numa_rate`` for teams spanning more
+  than one domain,
+* each dip lasts a log-normal duration,
+* each dip multiplies the core's frequency by a uniform depth factor,
+* a dip affects a whole socket (package-level budget) — cores of the
+  socket dip together, which is what Vera's traces show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FrequencyError
+
+
+@dataclass(frozen=True)
+class FrequencyDip:
+    """One transient frequency reduction on one socket."""
+
+    start: float
+    duration: float
+    depth: float  # multiplier in (0, 1]: freq during dip = depth * base
+    socket_id: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise FrequencyError(f"negative dip duration {self.duration}")
+        if not 0.0 < self.depth <= 1.0:
+            raise FrequencyError(f"dip depth {self.depth} outside (0, 1]")
+
+
+@dataclass(frozen=True)
+class DerateProcess:
+    """Run-scale boost-limit derate episodes.
+
+    Occasionally a socket sustains a lower boost limit for a whole run —
+    package thermal/power state, not transient dips.  The paper's Table 2
+    shows exactly one such run (run #9 on Dardel at 254 threads, ~9.5%
+    slower across all 100 repetitions); episodes are more likely the closer
+    the node runs to full utilization, so low-thread-count runs almost never
+    see them.
+
+    ``probability(load)`` = ``prob_at_full_load * load**load_exponent`` where
+    *load* is the fraction of the node's cores that are active.
+    """
+
+    prob_at_full_load: float = 0.0
+    depth_low: float = 0.88
+    depth_high: float = 0.94
+    load_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob_at_full_load <= 1.0:
+            raise FrequencyError("derate probability outside [0, 1]")
+        if not 0.0 < self.depth_low <= self.depth_high <= 1.0:
+            raise FrequencyError("need 0 < depth_low <= depth_high <= 1")
+        if self.load_exponent < 0:
+            raise FrequencyError("negative load exponent")
+
+    def probability(self, load: float) -> float:
+        """Episode probability for a run at core-load fraction *load*."""
+        if not 0.0 <= load <= 1.0:
+            raise FrequencyError(f"load {load} outside [0, 1]")
+        return self.prob_at_full_load * load**self.load_exponent
+
+    def sample_factor(self, load: float, rng: np.random.Generator) -> float:
+        """Multiplier for a socket's boost limit this run (1.0 = no episode)."""
+        if rng.random() < self.probability(load):
+            return float(rng.uniform(self.depth_low, self.depth_high))
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DipProcess:
+    """Parameters of the dip point process (rates are per second per socket).
+
+    The cross-NUMA component is modulated by *occupancy* (fraction of the
+    node's cores that are active): sparse teams spread over several domains
+    leave the uncore half-idle, and package power management excursions are
+    most frequent exactly then.  This matches the paper's observations —
+    frequent dips for 16 threads split across Vera's two sockets
+    (Figures 6d/7d), yet tight times for 30 threads filling the node
+    (Table 2).  ``occupancy=None`` disables the modulation.
+    """
+
+    base_rate: float = 0.0
+    cross_numa_rate: float = 0.0
+    duration_median: float = 0.015  # seconds
+    duration_sigma: float = 0.6  # log-normal shape
+    depth_low: float = 0.70
+    depth_high: float = 0.92
+    occupancy_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0 or self.cross_numa_rate < 0:
+            raise FrequencyError("dip rates must be non-negative")
+        if self.duration_median <= 0 or self.duration_sigma < 0:
+            raise FrequencyError("bad dip duration parameters")
+        if not 0.0 < self.depth_low <= self.depth_high <= 1.0:
+            raise FrequencyError("need 0 < depth_low <= depth_high <= 1")
+        if self.occupancy_exponent < 0:
+            raise FrequencyError("negative occupancy exponent")
+
+    def rate(self, cross_numa: bool, occupancy: float | None = None) -> float:
+        """Arrival rate for a team that does / does not span NUMA domains."""
+        cross = self.cross_numa_rate if cross_numa else 0.0
+        if occupancy is not None:
+            if not 0.0 <= occupancy <= 1.0:
+                raise FrequencyError(f"occupancy {occupancy} outside [0, 1]")
+            cross *= (1.0 - occupancy) ** self.occupancy_exponent
+        return self.base_rate + cross
+
+    def sample(
+        self,
+        t_start: float,
+        t_end: float,
+        socket_ids: tuple[int, ...],
+        cross_numa: bool,
+        rng: np.random.Generator,
+        occupancy: float | None = None,
+    ) -> list[FrequencyDip]:
+        """Draw all dips in ``[t_start, t_end)`` for the given sockets."""
+        if t_end < t_start:
+            raise FrequencyError(f"window end {t_end} before start {t_start}")
+        lam = self.rate(cross_numa, occupancy)
+        horizon = t_end - t_start
+        dips: list[FrequencyDip] = []
+        if lam <= 0 or horizon <= 0:
+            return dips
+        mu = np.log(self.duration_median)
+        for socket_id in socket_ids:
+            count = int(rng.poisson(lam * horizon))
+            if count == 0:
+                continue
+            starts = t_start + rng.random(count) * horizon
+            durations = rng.lognormal(mean=mu, sigma=self.duration_sigma, size=count)
+            depths = rng.uniform(self.depth_low, self.depth_high, size=count)
+            for s, d, p in zip(np.sort(starts), durations, depths):
+                dips.append(
+                    FrequencyDip(
+                        start=float(s),
+                        duration=float(d),
+                        depth=float(p),
+                        socket_id=socket_id,
+                    )
+                )
+        return dips

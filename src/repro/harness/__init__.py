@@ -1,0 +1,32 @@
+"""Experiment harness.
+
+Turns configurations into results:
+
+* :class:`~repro.harness.config.ExperimentConfig` — one benchmark launch
+  configuration (platform, threads, binding, repetitions, seed);
+* :class:`~repro.harness.runner.Runner` — executes N independent runs,
+  optionally with the frequency logger on a spare core;
+* :mod:`repro.harness.results` — result containers with JSON round-trip;
+* :mod:`repro.harness.freqlogger` — the simulated background frequency
+  logger (a :mod:`repro.sim` process sampling the simulated sysfs);
+* :mod:`repro.harness.report` — ASCII tables and series renderers;
+* :mod:`repro.harness.experiments` — one driver per paper table/figure.
+"""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.freqlogger import FrequencyLog, FrequencyLogger
+from repro.harness.results import ExperimentResult, RunRecord
+from repro.harness.runner import Runner
+from repro.harness import experiments
+from repro.harness import report
+
+__all__ = [
+    "ExperimentConfig",
+    "Runner",
+    "RunRecord",
+    "ExperimentResult",
+    "FrequencyLogger",
+    "FrequencyLog",
+    "experiments",
+    "report",
+]

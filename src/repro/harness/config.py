@@ -1,0 +1,112 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.omp.env import OMPEnvironment
+from repro.types import ProcBind, ScheduleKind
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One benchmark launch configuration.
+
+    Attributes
+    ----------
+    platform:
+        Platform preset name (``dardel`` / ``vera`` / ``toy``).
+    benchmark:
+        ``syncbench`` / ``schedbench`` / ``babelstream``.
+    num_threads:
+        ``OMP_NUM_THREADS``.
+    places / proc_bind:
+        ``OMP_PLACES`` / ``OMP_PROC_BIND``.  ``proc_bind="false"`` leaves
+        placement to the OS (the paper's "before thread-pinning").
+    runs:
+        Independent benchmark invocations (the paper uses 10).
+    seed:
+        Master seed; everything downstream is derived from it.
+    benchmark_params:
+        Keyword overrides for the benchmark's parameter dataclass
+        (e.g. ``{"outer_reps": 20}`` to shrink a test).
+    freq_logging / logger_cpu:
+        Run the frequency logger on a (spare) CPU during every run.
+    label:
+        Optional display label; defaults to a generated one.
+    """
+
+    platform: str = "vera"
+    benchmark: str = "syncbench"
+    num_threads: int = 4
+    places: str | None = "cores"
+    proc_bind: str = "close"
+    schedule: str = "static"
+    schedule_chunk: int | None = None
+    runs: int = 10
+    seed: int = 42
+    benchmark_params: Mapping[str, Any] = field(default_factory=dict)
+    freq_logging: bool = False
+    logger_cpu: int | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise ConfigurationError("num_threads must be positive")
+        if self.runs <= 0:
+            raise ConfigurationError("runs must be positive")
+        try:
+            ProcBind(self.proc_bind)
+        except ValueError:
+            raise ConfigurationError(f"bad proc_bind {self.proc_bind!r}") from None
+        try:
+            ScheduleKind(self.schedule)
+        except ValueError:
+            raise ConfigurationError(f"bad schedule {self.schedule!r}") from None
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        bind = self.proc_bind if self.proc_bind != "false" else "unbound"
+        return (
+            f"{self.benchmark}@{self.platform} n={self.num_threads} "
+            f"{bind} seed={self.seed}"
+        )
+
+    def omp_environment(self) -> OMPEnvironment:
+        return OMPEnvironment(
+            num_threads=self.num_threads,
+            places=self.places,
+            proc_bind=ProcBind(self.proc_bind),
+            schedule=ScheduleKind(self.schedule),
+            schedule_chunk=self.schedule_chunk,
+        )
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "benchmark": self.benchmark,
+            "num_threads": self.num_threads,
+            "places": self.places,
+            "proc_bind": self.proc_bind,
+            "schedule": self.schedule,
+            "schedule_chunk": self.schedule_chunk,
+            "runs": self.runs,
+            "seed": self.seed,
+            "benchmark_params": dict(self.benchmark_params),
+            "freq_logging": self.freq_logging,
+            "logger_cpu": self.logger_cpu,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        return cls(**data)

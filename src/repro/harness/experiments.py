@@ -1,0 +1,612 @@
+"""Canonical experiment drivers — one per table/figure of the paper.
+
+Every public function regenerates one artifact of the evaluation section
+and returns an :class:`ExperimentArtifact` carrying both structured data
+(for assertions and further analysis) and an ASCII rendering (the
+"figure").  Default arguments are the paper's scale (10 runs x 100
+repetitions); tests and the pytest-benchmark harness pass reduced values.
+
+Index (see DESIGN.md section 4):
+
+========  ==================================================================
+table2    schedbench dynamic_1 total times, Dardel@{4,254} / Vera@{4,30}
+figure1   syncbench (reduction) time vs thread count, both platforms
+figure2   BabelStream kernel times vs thread count, both platforms
+figure3   scalability of normalized min/max variability, 3 benchmarks x 2
+figure4   pinning on/off on Dardel (schedbench@16, syncbench@128, stream@128)
+figure5   ST vs MT on Dardel (schedbench@128, syncbench@32, stream@128)
+figure6   Vera schedbench, 16 cores on 1 vs 2 NUMA domains + freq traces
+figure7   Vera syncbench, same configurations
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import render_series, render_table
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import Runner
+from repro.stats.descriptive import summarize
+from repro.types import StreamKernel, SyncConstruct
+from repro.units import to_ms, to_us
+
+
+@dataclass(frozen=True)
+class ExperimentArtifact:
+    """One regenerated table/figure."""
+
+    name: str
+    description: str
+    sections: tuple[tuple[str, str], ...]
+    data: dict[str, Any] = field(compare=False, default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"### {self.name}: {self.description}"]
+        for title, text in self.sections:
+            parts.append(f"--- {title} ---")
+            parts.append(text)
+        return "\n".join(parts)
+
+
+def _run(config: ExperimentConfig) -> ExperimentResult:
+    return Runner(config).run()
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+def table2(
+    runs: int = 10, outer_reps: int = 100, seed: int = 42
+) -> ExperimentArtifact:
+    """Table 2: higher execution time (us) for schedbench ``dynamic_1``."""
+    columns = [
+        ("dardel", 4, "cores"),
+        ("dardel", 254, "threads"),
+        ("vera", 4, "cores"),
+        ("vera", 30, "cores"),
+    ]
+    per_column_means: dict[str, np.ndarray] = {}
+    for platform, threads, places in columns:
+        cfg = ExperimentConfig(
+            platform=platform,
+            benchmark="schedbench",
+            num_threads=threads,
+            places=places,
+            proc_bind="close",
+            schedule="dynamic",
+            schedule_chunk=1,
+            runs=runs,
+            seed=seed,
+            benchmark_params={"outer_reps": outer_reps},
+        )
+        result = _run(cfg)
+        matrix = result.runs_matrix("dynamic_1")
+        per_column_means[f"{platform}@{threads}"] = matrix.mean(axis=1)
+
+    headers = ["run #"] + [k for k in per_column_means]
+    rows = []
+    for r in range(runs):
+        rows.append(
+            [r + 1] + [f"{to_us(per_column_means[k][r]):.2f}" for k in per_column_means]
+        )
+    table = render_table(headers, rows, title="schedbench dynamic_1 mean time (us) per run")
+    return ExperimentArtifact(
+        name="table2",
+        description="run-to-run schedbench dynamic_1 execution times",
+        sections=(("per-run means", table),),
+        data={"run_means": per_column_means},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — syncbench scalability
+# ---------------------------------------------------------------------------
+
+_DARDEL_THREADS = (4, 8, 16, 32, 64, 128, 254)
+_VERA_THREADS = (2, 4, 8, 16, 30)
+
+
+def _thread_places(platform: str, threads: int) -> str:
+    """ST-style placement except when SMT siblings are required."""
+    if platform == "dardel" and threads > 128:
+        return "threads"  # must use SMT siblings beyond the 128 cores
+    return "cores"
+
+
+def figure1(
+    runs: int = 10,
+    outer_reps: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = _DARDEL_THREADS,
+    vera_threads: Sequence[int] = _VERA_THREADS,
+) -> ExperimentArtifact:
+    """Figure 1: syncbench (reduction) time vs HW thread count."""
+    sections = []
+    data: dict[str, Any] = {}
+    for platform, sweep in (("dardel", dardel_threads), ("vera", vera_threads)):
+        xs, ys = [], []
+        for threads in sweep:
+            cfg = ExperimentConfig(
+                platform=platform,
+                benchmark="syncbench",
+                num_threads=threads,
+                places=_thread_places(platform, threads),
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={
+                    "outer_reps": outer_reps,
+                    "constructs": (SyncConstruct.REDUCTION.value,),
+                },
+            )
+            result = _run(cfg)
+            # EPCC reports the per-construct overhead; that is what grows
+            # with thread count (raw test times are held near the target
+            # test time by the inner-repetition doubling)
+            matrix = result.runs_matrix(f"{SyncConstruct.REDUCTION.value}.overhead")
+            xs.append(threads)
+            ys.append(to_us(float(matrix.mean())))
+        data[platform] = {"threads": list(xs), "mean_us": list(ys)}
+        sections.append(
+            (
+                f"{platform}: reduction overhead vs threads",
+                render_series(f"syncbench(reduction)@{platform}", xs, ys, unit="us"),
+            )
+        )
+    return ExperimentArtifact(
+        name="figure1",
+        description="syncbench execution time scaling (socket/SMT jumps)",
+        sections=tuple(sections),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — BabelStream scalability
+# ---------------------------------------------------------------------------
+
+def figure2(
+    runs: int = 3,
+    num_times: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (2, 4, 8, 16, 32, 64, 128, 254),
+    vera_threads: Sequence[int] = _VERA_THREADS,
+) -> ExperimentArtifact:
+    """Figure 2: BabelStream kernel time (ms) vs HW thread count."""
+    sections = []
+    data: dict[str, Any] = {}
+    for platform, sweep in (("dardel", dardel_threads), ("vera", vera_threads)):
+        per_kernel: dict[str, list[float]] = {k.value: [] for k in StreamKernel}
+        for threads in sweep:
+            cfg = ExperimentConfig(
+                platform=platform,
+                benchmark="babelstream",
+                num_threads=threads,
+                places=_thread_places(platform, threads),
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={"num_times": num_times},
+            )
+            result = _run(cfg)
+            for kernel in StreamKernel:
+                matrix = result.runs_matrix(kernel.value)
+                per_kernel[kernel.value].append(to_ms(float(matrix.mean())))
+        data[platform] = {"threads": list(sweep), "mean_ms": per_kernel}
+        lines = [
+            render_series(f"{k}@{platform}", list(sweep), v, unit="ms")
+            for k, v in per_kernel.items()
+        ]
+        sections.append((f"{platform}: kernel time vs threads", "\n".join(lines)))
+    return ExperimentArtifact(
+        name="figure2",
+        description="BabelStream execution time falls with added threads",
+        sections=tuple(sections),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — scalability of variability
+# ---------------------------------------------------------------------------
+
+def figure3(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (4, 16, 64, 128, 254),
+    vera_threads: Sequence[int] = (2, 8, 16, 30),
+) -> ExperimentArtifact:
+    """Figure 3: normalized min/max per run vs thread count, 6 panels."""
+    panels: list[tuple[str, str]] = []
+    data: dict[str, Any] = {}
+
+    def norm_rows(matrix: np.ndarray) -> tuple[list[float], list[float]]:
+        mins, maxs = [], []
+        for row in matrix:
+            s = summarize(row)
+            mins.append(s.norm_min)
+            maxs.append(s.norm_max)
+        return mins, maxs
+
+    for platform, sweep in (("dardel", dardel_threads), ("vera", vera_threads)):
+        for bench, label, params in (
+            ("schedbench", "dynamic_1", {"outer_reps": outer_reps}),
+            (
+                "syncbench",
+                SyncConstruct.REDUCTION.value,
+                {"outer_reps": outer_reps,
+                 "constructs": (SyncConstruct.REDUCTION.value,)},
+            ),
+            ("babelstream", StreamKernel.TRIAD.value, {"num_times": num_times}),
+        ):
+            worst_max, best_min, xs = [], [], []
+            panel_data = {}
+            for threads in sweep:
+                cfg = ExperimentConfig(
+                    platform=platform,
+                    benchmark=bench,
+                    num_threads=threads,
+                    places=_thread_places(platform, threads),
+                    proc_bind="close",
+                    schedule="dynamic",
+                    schedule_chunk=1,
+                    runs=runs,
+                    seed=seed,
+                    benchmark_params=params,
+                )
+                matrix = _run(cfg).runs_matrix(label)
+                mins, maxs = norm_rows(matrix)
+                xs.append(threads)
+                best_min.append(min(mins))
+                worst_max.append(max(maxs))
+                panel_data[threads] = {"norm_min": mins, "norm_max": maxs}
+            key = f"{platform}/{bench}"
+            data[key] = panel_data
+            body = "\n".join(
+                [
+                    render_series("worst norm max", xs, worst_max),
+                    render_series("best norm min", xs, best_min),
+                ]
+            )
+            panels.append((f"{key} ({label})", body))
+    return ExperimentArtifact(
+        name="figure3",
+        description="variability grows with thread count, esp. near saturation",
+        sections=tuple(panels),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — the effect of thread pinning (Dardel)
+# ---------------------------------------------------------------------------
+
+def figure4(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+) -> ExperimentArtifact:
+    """Figure 4: before/after pinning on Dardel."""
+    cases = (
+        ("schedbench", 16, "dynamic_1", {"outer_reps": outer_reps}),
+        (
+            "syncbench",
+            128,
+            SyncConstruct.REDUCTION.value,
+            {"outer_reps": outer_reps,
+             "constructs": (SyncConstruct.REDUCTION.value,)},
+        ),
+        ("babelstream", 128, StreamKernel.TRIAD.value, {"num_times": num_times}),
+    )
+    sections = []
+    data: dict[str, Any] = {}
+    for bench, threads, label, params in cases:
+        entry: dict[str, Any] = {}
+        for bound, bind in (("unpinned", "false"), ("pinned", "close")):
+            cfg = ExperimentConfig(
+                platform="dardel",
+                benchmark=bench,
+                num_threads=threads,
+                places="cores" if bind != "false" else None,
+                proc_bind=bind,
+                schedule="dynamic",
+                schedule_chunk=1,
+                runs=runs,
+                seed=seed,
+                benchmark_params=params,
+            )
+            matrix = _run(cfg).runs_matrix(label)
+            stats = [summarize(row) for row in matrix]
+            entry[bound] = {
+                "run_means": [s.mean for s in stats],
+                "run_maxs": [s.maximum for s in stats],
+                "run_mins": [s.minimum for s in stats],
+                "pooled_max_over_min": float(matrix.max() / matrix.min()),
+            }
+        data[f"{bench}@{threads}"] = entry
+        rows = []
+        for bound in ("unpinned", "pinned"):
+            e = entry[bound]
+            rows.append(
+                [
+                    bound,
+                    f"{to_us(float(np.mean(e['run_means']))):.1f}",
+                    f"{to_us(float(np.min(e['run_mins']))):.1f}",
+                    f"{to_us(float(np.max(e['run_maxs']))):.1f}",
+                    f"{e['pooled_max_over_min']:.1f}x",
+                ]
+            )
+        sections.append(
+            (
+                f"{bench}@{threads} threads ({label})",
+                render_table(
+                    ["binding", "mean us", "min us", "max us", "max/min"], rows
+                ),
+            )
+        )
+    return ExperimentArtifact(
+        name="figure4",
+        description="pinning removes most run-to-run variability",
+        sections=tuple(sections),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — the effect of SMT (Dardel)
+# ---------------------------------------------------------------------------
+
+def figure5(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+) -> ExperimentArtifact:
+    """Figure 5: ST vs MT at equal thread counts on Dardel."""
+    sections = []
+    data: dict[str, Any] = {}
+
+    # schedbench at 128 threads: ST = 128 cores, MT = 64 cores x 2 siblings
+    sched_entry = {}
+    for mode, places in (("ST", "cores"), ("MT", "threads")):
+        cfg = ExperimentConfig(
+            platform="dardel",
+            benchmark="schedbench",
+            num_threads=128,
+            places=places,
+            proc_bind="close",
+            schedule="dynamic",
+            schedule_chunk=1,
+            runs=runs,
+            seed=seed,
+            benchmark_params={"outer_reps": outer_reps},
+        )
+        matrix = _run(cfg).runs_matrix("dynamic_1")
+        stats = [summarize(row) for row in matrix]
+        sched_entry[mode] = {
+            "run_cv": [s.cv for s in stats],
+            "run_norm_max": [s.norm_max for s in stats],
+        }
+    data["schedbench@128"] = sched_entry
+    sections.append(
+        (
+            "schedbench@128: per-run CV",
+            render_table(
+                ["mode", "mean CV", "max norm-max"],
+                [
+                    [
+                        mode,
+                        f"{float(np.mean(e['run_cv'])):.4f}",
+                        f"{float(np.max(e['run_norm_max'])):.3f}",
+                    ]
+                    for mode, e in sched_entry.items()
+                ],
+            ),
+        )
+    )
+
+    # syncbench at 32 threads: CV per construct
+    sync_entry: dict[str, Any] = {}
+    constructs = tuple(c.value for c in SyncConstruct)
+    for mode, places in (("ST", "cores"), ("MT", "threads")):
+        cfg = ExperimentConfig(
+            platform="dardel",
+            benchmark="syncbench",
+            num_threads=32,
+            places=places,
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            benchmark_params={"outer_reps": outer_reps, "constructs": constructs},
+        )
+        result = _run(cfg)
+        sync_entry[mode] = {
+            c: [summarize(row).cv for row in result.runs_matrix(c)]
+            for c in constructs
+        }
+    data["syncbench@32"] = sync_entry
+    rows = []
+    for c in constructs:
+        rows.append(
+            [
+                c,
+                f"{float(np.mean(sync_entry['ST'][c])):.4f}",
+                f"{float(np.mean(sync_entry['MT'][c])):.4f}",
+            ]
+        )
+    sections.append(
+        (
+            "syncbench@32: mean CV per construct",
+            render_table(["construct", "ST CV", "MT CV"], rows),
+        )
+    )
+
+    # babelstream at 128 threads
+    stream_entry: dict[str, Any] = {}
+    for mode, places in (("ST", "cores"), ("MT", "threads")):
+        cfg = ExperimentConfig(
+            platform="dardel",
+            benchmark="babelstream",
+            num_threads=128,
+            places=places,
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            benchmark_params={"num_times": num_times},
+        )
+        result = _run(cfg)
+        stream_entry[mode] = {
+            k.value: [summarize(row).norm_max for row in result.runs_matrix(k.value)]
+            for k in StreamKernel
+        }
+    data["babelstream@128"] = stream_entry
+    rows = [
+        [
+            k.value,
+            f"{float(np.max(stream_entry['ST'][k.value])):.3f}",
+            f"{float(np.max(stream_entry['MT'][k.value])):.3f}",
+        ]
+        for k in StreamKernel
+    ]
+    sections.append(
+        (
+            "babelstream@128: worst normalized max per kernel",
+            render_table(["kernel", "ST", "MT"], rows),
+        )
+    )
+    return ExperimentArtifact(
+        name="figure5",
+        description="MT destabilizes all three benchmarks vs ST",
+        sections=tuple(sections),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7 — frequency variation on Vera
+# ---------------------------------------------------------------------------
+
+def _vera_numa_experiment(
+    benchmark: str,
+    label: str,
+    params: dict,
+    runs: int,
+    seed: int,
+) -> tuple[tuple[tuple[str, str], ...], dict[str, Any]]:
+    sections = []
+    data: dict[str, Any] = {}
+    for name, places in (
+        ("one-numa (cpus 0-15)", "{0:16}"),
+        ("two-numa (cpus 0-7,16-23)", "{0:8},{16:8}"),
+    ):
+        cfg = ExperimentConfig(
+            platform="vera",
+            benchmark=benchmark,
+            num_threads=16,
+            places=places,
+            proc_bind="close",
+            schedule="dynamic" if benchmark == "schedbench" else "static",
+            schedule_chunk=1 if benchmark == "schedbench" else None,
+            runs=runs,
+            seed=seed,
+            benchmark_params=params,
+            freq_logging=True,
+            logger_cpu=31,  # a spare core on the second socket
+        )
+        result = _run(cfg)
+        matrix = result.runs_matrix(label)
+        stats = [summarize(row) for row in matrix]
+        logs = [rec.freq_log for rec in result.records if rec.freq_log is not None]
+        dip_occupancy = float(
+            np.mean([log.band_occupancy(2.6) for log in logs])
+        )
+        min_freq = min(log.min_freq_ghz() for log in logs)
+        max_freq = max(log.max_freq_ghz() for log in logs)
+        data[name] = {
+            "run_means": [s.mean for s in stats],
+            "run_norm_max": [s.norm_max for s in stats],
+            "pooled_cv": summarize(matrix.ravel()).cv,
+            "freq_min_ghz": min_freq,
+            "freq_max_ghz": max_freq,
+            "dip_occupancy": dip_occupancy,
+        }
+        body = "\n".join(
+            [
+                render_series(
+                    "run means (us)",
+                    list(range(1, len(stats) + 1)),
+                    [to_us(s.mean) for s in stats],
+                ),
+                f"pooled CV {data[name]['pooled_cv']:.4f}; frequency span "
+                f"{min_freq:.2f}-{max_freq:.2f} GHz; time below 2.6 GHz: "
+                f"{dip_occupancy * 100:.2f}%",
+            ]
+        )
+        sections.append((name, body))
+    return tuple(sections), data
+
+
+def figure6(
+    runs: int = 10, outer_reps: int = 100, seed: int = 42
+) -> ExperimentArtifact:
+    """Figure 6: schedbench on 16 Vera cores, 1 vs 2 NUMA domains."""
+    sections, data = _vera_numa_experiment(
+        "schedbench",
+        "dynamic_1",
+        {"outer_reps": outer_reps},
+        runs,
+        seed,
+    )
+    return ExperimentArtifact(
+        name="figure6",
+        description="cross-NUMA teams see frequency dips and higher variability",
+        sections=sections,
+        data=data,
+    )
+
+
+def figure7(
+    runs: int = 10, outer_reps: int = 100, seed: int = 42
+) -> ExperimentArtifact:
+    """Figure 7: syncbench (reduction) on 16 Vera cores, 1 vs 2 NUMA.
+
+    As in the real suite, the whole construct set runs in one invocation
+    (so the run is long enough for frequency dips to land); the reduction
+    micro-benchmark is the one reported.
+    """
+    sections, data = _vera_numa_experiment(
+        "syncbench",
+        SyncConstruct.REDUCTION.value,
+        {"outer_reps": outer_reps,
+         "constructs": tuple(c.value for c in SyncConstruct)},
+        runs,
+        seed,
+    )
+    return ExperimentArtifact(
+        name="figure7",
+        description="same effect for the synchronization micro-benchmark",
+        sections=sections,
+        data=data,
+    )
+
+
+#: All drivers, for the CLI and the bench harness.
+ALL_EXPERIMENTS = {
+    "table2": table2,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+}

@@ -1,0 +1,103 @@
+"""The frequency logger (paper Section 3, "Frequency logging on a separate
+core").
+
+A background sampler pinned to a spare CPU reads ``scaling_cur_freq`` of
+every CPU at a fixed interval through the simulated sysfs.  It is
+implemented as a :mod:`repro.sim` process driven by the event engine — the
+same structure as the authors' background Python script — and its CPU is
+marked busy to the noise/placement models so the logger itself perturbs
+the benchmark as little as possible (and measurably, if you pin it onto a
+benchmark core on purpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HarnessError
+from repro.freq.dvfs import FrequencyPlan, FrequencySpec
+from repro.freq.sysfs import CpuFreqSysfs
+from repro.sim.engine import Engine
+from repro.sim.process import Timeout
+
+
+@dataclass(frozen=True)
+class FrequencyLog:
+    """Sampled frequencies: ``freqs_khz[i, c]`` at ``times[i]`` for cpu c."""
+
+    logger_cpu: int
+    interval: float
+    times: np.ndarray = field(compare=False)
+    freqs_khz: np.ndarray = field(compare=False)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.size)
+
+    def cpu_series(self, cpu: int) -> np.ndarray:
+        return self.freqs_khz[:, cpu]
+
+    def min_freq_ghz(self) -> float:
+        return float(self.freqs_khz.min()) / 1e6
+
+    def max_freq_ghz(self) -> float:
+        return float(self.freqs_khz.max()) / 1e6
+
+    def band_occupancy(self, low_ghz: float) -> float:
+        """Fraction of (sample, cpu) readings below *low_ghz* — the paper's
+        "brown region": how often cores sat in a dipped state."""
+        return float(np.mean(self.freqs_khz < low_ghz * 1e6))
+
+    def summary(self) -> str:
+        return (
+            f"freqlog: {self.n_samples} samples @ {self.interval * 1e3:.1f} ms "
+            f"on cpu {self.logger_cpu}; observed "
+            f"{self.min_freq_ghz():.2f}-{self.max_freq_ghz():.2f} GHz"
+        )
+
+
+class FrequencyLogger:
+    """Samples a run's frequency plan the way the real logger samples sysfs."""
+
+    def __init__(self, logger_cpu: int, interval: float = 0.01):
+        if interval <= 0:
+            raise HarnessError(f"logger interval must be positive, got {interval}")
+        self.logger_cpu = int(logger_cpu)
+        self.interval = float(interval)
+
+    def capture(
+        self,
+        spec: FrequencySpec,
+        plan: FrequencyPlan,
+        governor_name: str,
+        t_start: float,
+        t_end: float,
+    ) -> FrequencyLog:
+        """Run the sampling process over ``[t_start, t_end]``."""
+        if t_end <= t_start:
+            raise HarnessError("empty logging window")
+        sysfs = CpuFreqSysfs(spec, plan, governor_name)
+        times: list[float] = []
+        rows: list[np.ndarray] = []
+
+        engine = Engine()
+        engine.clock.advance_to(t_start)
+
+        def sampler():
+            while engine.clock.now <= t_end:
+                times.append(engine.clock.now)
+                rows.append(sysfs.snapshot_khz(engine.clock.now))
+                yield Timeout(self.interval)
+
+        engine.spawn(sampler(), name="freqlogger")
+        engine.run(until=t_end)
+        if not times:
+            raise HarnessError("logger captured no samples")
+        return FrequencyLog(
+            logger_cpu=self.logger_cpu,
+            interval=self.interval,
+            times=np.asarray(times),
+            freqs_khz=np.vstack(rows),
+        )

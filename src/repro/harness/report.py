@@ -1,0 +1,71 @@
+"""ASCII rendering helpers for tables and figure-like series.
+
+The harness regenerates the paper's tables and figures as text: tables as
+aligned columns, figure series as labelled rows of values (and a crude
+unicode sparkline for trend reading in a terminal).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Align *rows* under *headers*."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (empty-safe).
+
+    >>> sparkline([1, 2, 3])
+    '▁▅█'
+    """
+    v = np.asarray(list(values), dtype=np.float64)
+    if v.size == 0:
+        return ""
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return _SPARK_CHARS[0] * v.size
+    idx = np.minimum(
+        (len(_SPARK_CHARS) - 1),
+        ((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).round().astype(int),
+    )
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def render_series(
+    label: str, xs: Sequence[object], ys: Sequence[float], unit: str = ""
+) -> str:
+    """One figure series as a labelled row with a sparkline."""
+    pairs = "  ".join(f"{x}:{y:.4g}" for x, y in zip(xs, ys))
+    suffix = f" [{unit}]" if unit else ""
+    return f"{label:<28} {sparkline(ys)}  {pairs}{suffix}"
+
+
+def render_norm_minmax_rows(
+    label: str, norm: np.ndarray
+) -> str:
+    """Per-run normalized (min, max) rows — the Figure 3 payload."""
+    lines = [f"{label}: normalized min/max per run"]
+    for i, (lo, hi) in enumerate(np.asarray(norm), start=1):
+        lines.append(f"  run {i:>2}: min {lo:.3f}  max {hi:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Result containers with JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import HarnessError
+from repro.harness.config import ExperimentConfig
+from repro.harness.freqlogger import FrequencyLog
+from repro.stats.variability import VariabilityReport
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One benchmark invocation's measurements.
+
+    ``series`` maps a measurement label (construct name, schedule label,
+    stream kernel) to the repetition-time array of this run.
+    """
+
+    run_index: int
+    series: Mapping[str, np.ndarray] = field(default_factory=dict)
+    freq_log: FrequencyLog | None = None
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self.series.keys())
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All runs of one configuration."""
+
+    config: ExperimentConfig
+    records: tuple[RunRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise HarnessError("experiment produced no runs")
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.records)
+
+    def labels(self) -> tuple[str, ...]:
+        return self.records[0].labels()
+
+    def runs_matrix(self, label: str) -> np.ndarray:
+        """(n_runs, reps) matrix of repetition times for one measurement."""
+        rows = []
+        for rec in self.records:
+            if label not in rec.series:
+                raise HarnessError(
+                    f"run {rec.run_index} lacks series {label!r}; "
+                    f"has {sorted(rec.series)}"
+                )
+            rows.append(np.asarray(rec.series[label], dtype=np.float64))
+        lengths = {r.size for r in rows}
+        if len(lengths) != 1:
+            raise HarnessError(f"ragged repetition counts for {label!r}: {lengths}")
+        return np.vstack(rows)
+
+    def report(self, label: str) -> VariabilityReport:
+        return VariabilityReport.from_runs(
+            f"{self.config.display_label} [{label}]", self.runs_matrix(label)
+        )
+
+    def reports(self) -> dict[str, VariabilityReport]:
+        return {label: self.report(label) for label in self.labels()}
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        records = []
+        for rec in self.records:
+            entry: dict = {
+                "run_index": rec.run_index,
+                "series": {k: np.asarray(v).tolist() for k, v in rec.series.items()},
+            }
+            if rec.freq_log is not None:
+                entry["freq_log"] = {
+                    "logger_cpu": rec.freq_log.logger_cpu,
+                    "interval": rec.freq_log.interval,
+                    "times": rec.freq_log.times.tolist(),
+                    "freqs_khz": rec.freq_log.freqs_khz.tolist(),
+                }
+            records.append(entry)
+        return {"config": self.config.to_dict(), "records": records}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentResult":
+        config = ExperimentConfig.from_dict(data["config"])
+        records = []
+        for entry in data["records"]:
+            freq_log = None
+            if entry.get("freq_log") is not None:
+                fl = entry["freq_log"]
+                freq_log = FrequencyLog(
+                    logger_cpu=fl["logger_cpu"],
+                    interval=fl["interval"],
+                    times=np.asarray(fl["times"]),
+                    freqs_khz=np.asarray(fl["freqs_khz"], dtype=np.int64),
+                )
+            records.append(
+                RunRecord(
+                    run_index=entry["run_index"],
+                    series={
+                        k: np.asarray(v) for k, v in entry["series"].items()
+                    },
+                    freq_log=freq_log,
+                )
+            )
+        return cls(config=config, records=tuple(records))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,137 @@
+"""The experiment runner: N independent runs of one configuration."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.bench.babelstream import BabelStream, BabelStreamParams
+from repro.bench.epcc.schedbench import Schedbench, SchedbenchParams
+from repro.bench.epcc.syncbench import Syncbench, SyncbenchParams
+from repro.errors import HarnessError
+from repro.harness.config import ExperimentConfig
+from repro.harness.freqlogger import FrequencyLogger
+from repro.harness.results import ExperimentResult, RunRecord
+from repro.omp.runtime import OpenMPRuntime, RunContext
+from repro.platform import get_platform
+from repro.rng import RngFactory
+from repro.types import ScheduleKind, SyncConstruct
+
+
+class Runner:
+    """Executes an :class:`ExperimentConfig` into an :class:`ExperimentResult`.
+
+    A benchmark "run" corresponds to one launch of the real benchmark
+    binary: a fresh OS placement, frequency realization and noise
+    realization, followed by the benchmark's own outer repetitions.
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.platform = get_platform(config.platform)
+        self.env = config.omp_environment()
+        self.runtime = OpenMPRuntime(self.platform, self.env)
+        self.rng_factory = RngFactory(config.seed).child(
+            config.platform, config.benchmark, config.num_threads, config.proc_bind
+        )
+        self._bench = self._make_benchmark()
+
+    # -- benchmark construction -----------------------------------------------
+
+    def _make_benchmark(self) -> Any:
+        name = self.config.benchmark.lower()
+        params = dict(self.config.benchmark_params)
+        if name == "syncbench":
+            constructs = params.pop("constructs", None)
+            bench = Syncbench(SyncbenchParams(**params))
+            bench_constructs = (
+                tuple(SyncConstruct(c) for c in constructs)
+                if constructs is not None
+                else (SyncConstruct.REDUCTION,)
+            )
+            return ("syncbench", bench, bench_constructs)
+        if name == "schedbench":
+            schedules = params.pop("schedules", None)
+            bench = Schedbench(SchedbenchParams(**params))
+            if schedules is None:
+                sched_list = (
+                    (ScheduleKind(self.config.schedule), self.config.schedule_chunk),
+                )
+            else:
+                sched_list = tuple(
+                    (ScheduleKind(k), c) for k, c in schedules
+                )
+            return ("schedbench", bench, sched_list)
+        if name == "babelstream":
+            bench = BabelStream(BabelStreamParams(**params))
+            return ("babelstream", bench, None)
+        raise HarnessError(f"unknown benchmark {self.config.benchmark!r}")
+
+    # -- horizon estimation ------------------------------------------------------
+
+    def _horizon(self, ctx_threads: int) -> float:
+        kind, bench, payload = self._bench
+        if kind == "syncbench":
+            return bench.horizon_estimate() * (len(payload) + 0.5)
+        if kind == "schedbench":
+            return bench.horizon_estimate(ctx_threads) * (len(payload) + 0.5)
+        # babelstream: needs a context to price kernels; use a generous bound
+        p = bench.params
+        per_iter = 5 * p.array_bytes * 3 / 20e9 + 5 * p.kernel_gap
+        return p.num_times * per_iter * 4.0 + 1.0
+
+    # -- execution -----------------------------------------------------------------
+
+    def _logger_cpu(self) -> int:
+        if self.config.logger_cpu is not None:
+            return self.config.logger_cpu
+        # default: the last CPU of the machine (a spare core in the paper's
+        # configurations, which always leave at least 2 CPUs free)
+        return self.platform.machine.n_cpus - 1
+
+    def _run_one(self, run_index: int) -> RunRecord:
+        cfg = self.config
+        extra_busy: tuple[int, ...] = ()
+        logger = None
+        if cfg.freq_logging:
+            logger = FrequencyLogger(self._logger_cpu())
+            extra_busy = (logger.logger_cpu,)
+        horizon = self._horizon(cfg.num_threads)
+        ctx: RunContext = self.runtime.start_run(
+            run_index, self.rng_factory, horizon, extra_busy_cpus=extra_busy
+        )
+
+        kind, bench, payload = self._bench
+        series: dict[str, Any] = {}
+        if kind == "syncbench":
+            for construct in payload:
+                m = bench.measure(ctx, construct)
+                series[construct.value] = m.rep_times
+                # EPCC's reported metric: per-construct overhead
+                series[f"{construct.value}.overhead"] = np.maximum(
+                    m.overheads, 0.0
+                )
+        elif kind == "schedbench":
+            for sched_kind, chunk in payload:
+                m = bench.measure(ctx, sched_kind, chunk)
+                series[m.label] = m.rep_times
+        else:  # babelstream
+            sm = bench.run(ctx)
+            for kernel, times in sm.times.items():
+                series[kernel.value] = times
+
+        freq_log = None
+        if logger is not None:
+            freq_log = logger.capture(
+                self.platform.freq_spec,
+                ctx.freq_plan,
+                self.platform.default_governor,
+                0.0,
+                max(ctx.t, 1e-3),
+            )
+        return RunRecord(run_index=run_index, series=series, freq_log=freq_log)
+
+    def run(self) -> ExperimentResult:
+        records = tuple(self._run_one(i) for i in range(self.config.runs))
+        return ExperimentResult(config=self.config, records=records)

@@ -1,0 +1,211 @@
+"""Cost models for OpenMP synchronization constructs.
+
+EPCC ``syncbench`` measures the overhead of PARALLEL, FOR, PARALLEL FOR,
+BARRIER, SINGLE, CRITICAL, LOCK/UNLOCK, ORDERED, ATOMIC and REDUCTION.  The
+models here give the *mean cost of one construct instance* as a function of
+the team (size, NUMA/socket span, SMT sharing), plus a per-repetition
+stochastic multiplier reflecting contention jitter.
+
+Structure of the costs (all cache-line latencies in seconds):
+
+* the team's *effective line latency* ``l_eff`` mixes local, cross-NUMA and
+  cross-socket transfer latencies by the fraction of threads at each
+  distance from the master — this produces the sharp cost increases the
+  paper sees when a team first spans two sockets (Figure 1);
+* barriers are ``2 * ceil(log2 n)`` rounds of line transfers (tree
+  gather + release);
+* fork wakes workers at a per-thread signalling cost (linear in ``n``,
+  the dominant term at 254 threads);
+* mutual-exclusion constructs serialize the team: each entry hands a lock
+  line between cores, and handoff cost grows with the number of waiters;
+* REDUCTION = PARALLEL + combine (one atomic per thread) + extra barrier —
+  the most expensive construct, as the paper highlights.
+
+When the team shares cores (SMT / the MT configuration), every latency is
+multiplied by :attr:`SyncCostParams.smt_sync_factor` and the jitter sigma
+gains :attr:`SyncCostParams.smt_jitter_boost` — spin-waiting on a sibling
+hardware thread steals issue slots from the thread doing useful work,
+which is the mechanism behind the CV blow-up in Figure 5e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.omp.team import Team
+from repro.types import SyncConstruct
+from repro.units import ns, us
+
+
+@dataclass(frozen=True)
+class SyncCostParams:
+    """Platform constants for synchronization costs (seconds)."""
+
+    line_local: float = ns(32.0)
+    line_cross_numa: float = ns(75.0)
+    line_cross_socket: float = ns(130.0)
+    atomic_rmw: float = ns(18.0)
+    lock_handoff_waiter_factor: float = 0.12
+    fork_base: float = us(1.5)
+    fork_per_thread: float = ns(60.0)
+    join_base: float = us(0.5)
+    barrier_base: float = us(0.4)
+    single_election: float = ns(40.0)
+    ordered_handoff: float = ns(90.0)
+    smt_sync_factor: float = 1.3
+    jitter_sigma_base: float = 0.04
+    jitter_sigma_per_log2n: float = 0.015
+    smt_jitter_boost: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not self.line_local <= self.line_cross_numa <= self.line_cross_socket:
+            raise ConfigurationError(
+                "line latencies must be ordered local <= cross-numa <= cross-socket"
+            )
+        for name in (
+            "line_local", "atomic_rmw", "fork_base", "fork_per_thread",
+            "join_base", "barrier_base", "single_election", "ordered_handoff",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.smt_sync_factor < 1.0:
+            raise ConfigurationError("smt_sync_factor must be >= 1")
+        if self.jitter_sigma_base < 0 or self.jitter_sigma_per_log2n < 0:
+            raise ConfigurationError("jitter sigmas must be non-negative")
+
+
+@dataclass(frozen=True)
+class ConstructProfile:
+    """How a construct uses the team, per EPCC inner iteration.
+
+    ``serialized`` — every thread executes the body one-at-a-time
+    (critical/lock/ordered), so the body's delay is paid ``n`` times per
+    logical iteration instead of once.
+    ``has_fork`` — the construct opens/closes a parallel region on every
+    iteration (parallel, parallel-for, reduction in EPCC's coding).
+    """
+
+    serialized: bool = False
+    has_fork: bool = False
+    has_barrier: bool = True
+
+
+CONSTRUCT_PROFILES: dict[SyncConstruct, ConstructProfile] = {
+    SyncConstruct.PARALLEL: ConstructProfile(has_fork=True),
+    SyncConstruct.FOR: ConstructProfile(),
+    SyncConstruct.PARALLEL_FOR: ConstructProfile(has_fork=True),
+    SyncConstruct.BARRIER: ConstructProfile(),
+    SyncConstruct.SINGLE: ConstructProfile(),
+    SyncConstruct.CRITICAL: ConstructProfile(serialized=True, has_barrier=False),
+    SyncConstruct.LOCK_UNLOCK: ConstructProfile(serialized=True, has_barrier=False),
+    SyncConstruct.ORDERED: ConstructProfile(serialized=True, has_barrier=False),
+    SyncConstruct.ATOMIC: ConstructProfile(serialized=True, has_barrier=False),
+    SyncConstruct.REDUCTION: ConstructProfile(has_fork=True),
+}
+
+
+class SyncCostModel:
+    """Mean construct costs + jitter for a given team."""
+
+    def __init__(self, params: SyncCostParams):
+        self.params = params
+
+    # -- building blocks -----------------------------------------------------
+
+    def effective_line_latency(self, team: Team) -> float:
+        """Distance-weighted cache-line transfer latency for the team."""
+        p = self.params
+        f_socket = team.outside_master_socket_fraction
+        f_numa = max(0.0, team.outside_master_numa_fraction - f_socket)
+        f_local = max(0.0, 1.0 - f_numa - f_socket)
+        l_eff = (
+            p.line_local * f_local
+            + p.line_cross_numa * f_numa
+            + p.line_cross_socket * f_socket
+        )
+        if team.uses_smt:
+            l_eff *= p.smt_sync_factor
+        return l_eff
+
+    def barrier_cost(self, team: Team) -> float:
+        """One full barrier (tree gather + release)."""
+        n = team.n_threads
+        if n == 1:
+            return 0.0
+        rounds = 2 * ceil(log2(n))
+        return self.params.barrier_base + rounds * self.effective_line_latency(team)
+
+    def fork_cost(self, team: Team) -> float:
+        """Open a parallel region: wake/signal each worker."""
+        n = team.n_threads
+        if n == 1:
+            return 0.0
+        cost = self.params.fork_base + self.params.fork_per_thread * (n - 1)
+        if team.uses_smt:
+            cost *= self.params.smt_sync_factor
+        return cost
+
+    def join_cost(self, team: Team) -> float:
+        return self.params.join_base + self.barrier_cost(team)
+
+    def lock_handoff(self, team: Team) -> float:
+        """Hand a contended lock line to the next waiter."""
+        n = team.n_threads
+        l_eff = self.effective_line_latency(team)
+        waiters = max(0, n - 1)
+        return (l_eff + self.params.atomic_rmw) * (
+            1.0 + self.params.lock_handoff_waiter_factor * waiters
+        )
+
+    # -- per-construct mean cost ------------------------------------------------
+
+    def construct_cost(self, construct: SyncConstruct, team: Team) -> float:
+        """Mean overhead of ONE construct instance for this team.
+
+        For serialized constructs this is the cost of one thread's entry;
+        the benchmark layer multiplies by team size per logical iteration.
+        """
+        p = self.params
+        n = team.n_threads
+        if construct is SyncConstruct.PARALLEL:
+            return self.fork_cost(team) + self.join_cost(team)
+        if construct is SyncConstruct.FOR:
+            # worksharing init (one line bounce) + the implicit barrier
+            return self.effective_line_latency(team) + self.barrier_cost(team)
+        if construct is SyncConstruct.PARALLEL_FOR:
+            return self.fork_cost(team) + self.join_cost(team) + self.barrier_cost(team) * 0.25
+        if construct is SyncConstruct.BARRIER:
+            return self.barrier_cost(team)
+        if construct is SyncConstruct.SINGLE:
+            return p.single_election + self.effective_line_latency(team) + self.barrier_cost(team)
+        if construct is SyncConstruct.CRITICAL:
+            return self.lock_handoff(team)
+        if construct is SyncConstruct.LOCK_UNLOCK:
+            return self.lock_handoff(team) + p.atomic_rmw
+        if construct is SyncConstruct.ORDERED:
+            return p.ordered_handoff + self.effective_line_latency(team)
+        if construct is SyncConstruct.ATOMIC:
+            # contended RMW throughput: the line visits every competing core
+            return p.atomic_rmw * (1.0 + 0.5 * max(0, n - 1) ** 0.7)
+        if construct is SyncConstruct.REDUCTION:
+            combine = n * p.atomic_rmw + self.effective_line_latency(team) * ceil(log2(max(2, n)))
+            return self.fork_cost(team) + self.join_cost(team) + combine + self.barrier_cost(team)
+        raise ConfigurationError(f"unknown construct {construct!r}")
+
+    # -- stochastic per-repetition multiplier -------------------------------------
+
+    def jitter_sigma(self, team: Team) -> float:
+        p = self.params
+        sigma = p.jitter_sigma_base + p.jitter_sigma_per_log2n * log2(max(2, team.n_threads))
+        if team.uses_smt:
+            sigma += p.smt_jitter_boost
+        return sigma
+
+    def sample_multiplier(self, team: Team, rng: np.random.Generator) -> float:
+        """Log-normal (mean ≈ 1) contention jitter for one repetition."""
+        sigma = self.jitter_sigma(team)
+        return float(rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))

@@ -1,0 +1,181 @@
+"""``OMP_PLACES`` parsing and place-list construction.
+
+Supports the OpenMP 5.x forms the paper's experiments need:
+
+* abstract names: ``threads``, ``cores``, ``sockets``, ``numa_domains``,
+  each with an optional count, e.g. ``cores(16)``;
+* explicit lists: ``{0,1,2,3},{4-7}``, interval notation
+  ``{0:4}`` (= ``{0,1,2,3}``), and place intervals ``{0:4}:8:4``
+  (8 places of 4 CPUs, starting CPUs 0,4,8,...).
+
+Place ordering for ``threads`` is **topological** (core-major: all hardware
+threads of core 0, then core 1, ...), matching how libgomp/hwloc enumerate
+places — this is what makes ``OMP_PLACES=threads OMP_PROC_BIND=close`` pack
+SMT siblings (the paper's MT configuration) while ``OMP_PLACES=cores``
+yields one place per physical core (the ST configuration).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PlacesSyntaxError
+from repro.topology.hwthread import Machine
+
+
+@dataclass(frozen=True)
+class Place:
+    """An unordered set of CPUs a thread may run on."""
+
+    cpus: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cpus:
+            raise PlacesSyntaxError("a place cannot be empty")
+        if len(set(self.cpus)) != len(self.cpus):
+            raise PlacesSyntaxError(f"duplicate cpus in place {self.cpus}")
+
+    def __len__(self) -> int:
+        return len(self.cpus)
+
+    def __contains__(self, cpu: int) -> bool:
+        return cpu in self.cpus
+
+
+_ABSTRACT_RE = re.compile(r"^(?P<name>[a-z_]+)(\((?P<count>\d+)\))?$")
+
+
+def _abstract_places(machine: Machine, name: str, count: int | None) -> list[Place]:
+    if name == "threads":
+        # topological order: core-major
+        all_places = [
+            Place((cpu,)) for core in machine.cores for cpu in core.cpu_ids
+        ]
+    elif name == "cores":
+        all_places = [Place(tuple(core.cpu_ids)) for core in machine.cores]
+    elif name == "sockets":
+        all_places = [Place(tuple(s.cpu_ids)) for s in machine.sockets]
+    elif name in ("numa_domains", "ll_caches"):
+        # ll_caches coincides with NUMA domains on both modelled platforms
+        all_places = [Place(tuple(d.cpu_ids)) for d in machine.numa_domains]
+    else:
+        raise PlacesSyntaxError(f"unknown abstract place name {name!r}")
+    if count is not None:
+        if count <= 0:
+            raise PlacesSyntaxError(f"place count must be positive: {name}({count})")
+        if count > len(all_places):
+            raise PlacesSyntaxError(
+                f"{name}({count}) exceeds available {len(all_places)} places"
+            )
+        return all_places[:count]
+    return all_places
+
+
+def _parse_res_list(body: str) -> list[int]:
+    """Parse the inside of ``{...}``: numbers, ``a:len[:stride]``, ``a-b``."""
+    cpus: list[int] = []
+    for token in body.split(","):
+        token = token.strip()
+        if not token:
+            raise PlacesSyntaxError(f"empty resource in place body {body!r}")
+        if ":" in token:
+            parts = token.split(":")
+            if len(parts) not in (2, 3):
+                raise PlacesSyntaxError(f"bad resource interval {token!r}")
+            try:
+                start = int(parts[0])
+                length = int(parts[1])
+                stride = int(parts[2]) if len(parts) == 3 else 1
+            except ValueError as exc:
+                raise PlacesSyntaxError(f"bad resource interval {token!r}") from exc
+            if length <= 0:
+                raise PlacesSyntaxError(f"non-positive length in {token!r}")
+            cpus.extend(start + stride * k for k in range(length))
+        elif "-" in token and not token.startswith("-"):
+            lo_s, _, hi_s = token.partition("-")
+            try:
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError as exc:
+                raise PlacesSyntaxError(f"bad cpu range {token!r}") from exc
+            if hi < lo:
+                raise PlacesSyntaxError(f"descending cpu range {token!r}")
+            cpus.extend(range(lo, hi + 1))
+        else:
+            try:
+                cpus.append(int(token))
+            except ValueError as exc:
+                raise PlacesSyntaxError(f"bad cpu id {token!r}") from exc
+    return cpus
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not inside braces."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise PlacesSyntaxError(f"unbalanced braces in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise PlacesSyntaxError(f"unbalanced braces in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+_PLACE_INTERVAL_RE = re.compile(
+    r"^\{(?P<body>[^{}]*)\}(:(?P<len>\d+)(:(?P<stride>-?\d+))?)?$"
+)
+
+
+def parse_places(machine: Machine, text: str) -> list[Place]:
+    """Parse an ``OMP_PLACES`` value against a machine.
+
+    Raises
+    ------
+    PlacesSyntaxError
+        On syntax errors or CPUs outside the machine.
+    """
+    text = text.strip()
+    if not text:
+        raise PlacesSyntaxError("OMP_PLACES is empty")
+
+    m = _ABSTRACT_RE.match(text)
+    if m and "{" not in text:
+        count = int(m.group("count")) if m.group("count") else None
+        places = _abstract_places(machine, m.group("name"), count)
+    else:
+        places = []
+        for part in _split_top_level(text):
+            part = part.strip()
+            pm = _PLACE_INTERVAL_RE.match(part)
+            if not pm:
+                raise PlacesSyntaxError(f"cannot parse place {part!r}")
+            base = _parse_res_list(pm.group("body"))
+            if pm.group("len") is None:
+                places.append(Place(tuple(base)))
+            else:
+                n_places = int(pm.group("len"))
+                stride = int(pm.group("stride")) if pm.group("stride") else len(base)
+                if n_places <= 0:
+                    raise PlacesSyntaxError(f"non-positive place count in {part!r}")
+                for k in range(n_places):
+                    places.append(Place(tuple(c + k * stride for c in base)))
+
+    for place in places:
+        for cpu in place.cpus:
+            if not 0 <= cpu < machine.n_cpus:
+                raise PlacesSyntaxError(
+                    f"place cpu {cpu} outside machine {machine.name} "
+                    f"(0..{machine.n_cpus - 1})"
+                )
+    return places

@@ -1,0 +1,97 @@
+"""``OMP_PROC_BIND`` binding algorithms.
+
+Given a place list and a team size, produce the place of every thread
+(:func:`bind_threads`) and then a concrete CPU within that place
+(:func:`assign_cpus`), following the OpenMP 5.x affinity semantics:
+
+* ``close``  — threads occupy consecutive places starting from the
+  master's place; with more threads than places, threads are divided into
+  contiguous groups, one group per place.
+* ``spread`` — the place list is partitioned into ``T`` roughly equal
+  subpartitions and thread *i* is bound to the first place of partition
+  *i* (sparse distribution).
+* ``master`` — every thread binds to the master's place.
+* ``true``   — implementation-defined; we follow libgomp and treat it as
+  ``close``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindingError
+from repro.omp.places import Place
+from repro.types import ProcBind
+
+
+def bind_threads(
+    n_threads: int,
+    n_places: int,
+    policy: ProcBind,
+    master_place: int = 0,
+) -> list[int]:
+    """Place index for each thread (thread 0 is the master).
+
+    >>> bind_threads(4, 8, ProcBind.CLOSE)
+    [0, 1, 2, 3]
+    >>> bind_threads(4, 8, ProcBind.SPREAD)
+    [0, 2, 4, 6]
+    >>> bind_threads(4, 2, ProcBind.CLOSE)
+    [0, 0, 1, 1]
+    """
+    if n_threads <= 0:
+        raise BindingError(f"need at least one thread, got {n_threads}")
+    if n_places <= 0:
+        raise BindingError(f"need at least one place, got {n_places}")
+    if not 0 <= master_place < n_places:
+        raise BindingError(f"master place {master_place} outside 0..{n_places - 1}")
+    if policy is ProcBind.FALSE:
+        raise BindingError("bind_threads called with OMP_PROC_BIND=false")
+
+    if policy is ProcBind.MASTER:
+        return [master_place] * n_threads
+
+    if policy in (ProcBind.CLOSE, ProcBind.TRUE):
+        if n_threads <= n_places:
+            return [(master_place + i) % n_places for i in range(n_threads)]
+        # T > P: contiguous thread groups, group j -> place (master + j) % P
+        return [
+            (master_place + (i * n_places) // n_threads) % n_places
+            for i in range(n_threads)
+        ]
+
+    if policy is ProcBind.SPREAD:
+        if n_threads <= n_places:
+            # subpartition i covers places [floor(i*P/T), floor((i+1)*P/T))
+            return [
+                (master_place + (i * n_places) // n_threads) % n_places
+                for i in range(n_threads)
+            ]
+        return [
+            (master_place + (i * n_places) // n_threads) % n_places
+            for i in range(n_threads)
+        ]
+
+    raise BindingError(f"unsupported policy {policy!r}")
+
+
+def assign_cpus(
+    places: list[Place],
+    thread_places: list[int],
+) -> list[int]:
+    """Concrete CPU per thread.
+
+    Threads sharing a place receive distinct CPUs of that place in order,
+    wrapping around when the place is oversubscribed (legal in OpenMP —
+    threads then time-share the place's CPUs).
+    """
+    if not places:
+        raise BindingError("empty place list")
+    next_slot: dict[int, int] = {}
+    cpus: list[int] = []
+    for place_idx in thread_places:
+        if not 0 <= place_idx < len(places):
+            raise BindingError(f"place index {place_idx} outside place list")
+        place = places[place_idx]
+        slot = next_slot.get(place_idx, 0)
+        cpus.append(place.cpus[slot % len(place.cpus)])
+        next_slot[place_idx] = slot + 1
+    return cpus

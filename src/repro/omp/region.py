@@ -1,0 +1,244 @@
+"""Parallel-region execution.
+
+:class:`RegionExecutor` computes how long one barrier-terminated parallel
+region takes on the simulated node, combining:
+
+* per-thread **work** (seconds at the platform's calibration frequency,
+  rescaled through each CPU's live frequency trace),
+* **SMT sharing** between teammates (MT configuration) — shared cores
+  retire each thread's work at :attr:`RegionParams.smt_efficiency` of a
+  full core,
+* **OS noise** — preemption intervals on each thread's CPU, aggregated
+  according to the region's :class:`NoiseMode`:
+
+  - ``MAX``: one barrier at the end; only the slowest thread's noise
+    matters (static loops, stream kernels);
+  - ``SYNC_SUM``: the region body synchronizes continuously (EPCC
+    syncbench's inner loop) so every preemption anywhere lands on the
+    critical path, scaled by ``sync_noise_kappa``;
+  - ``BALANCED``: dynamic scheduling redistributes work around a stalled
+    thread; the team absorbs noise at ``total / n``;
+
+* **sibling pressure** — OS work on an SMT sibling slows the thread by
+  :attr:`RegionParams.smt_noise_penalty` for the overlap duration,
+* **scheduler artifacts** for unbound teams — per-thread wake delays and
+  stacking episodes (time-sharing a CPU until the balancer resolves it),
+* a **queue-serialization floor** for dynamic/guided loops, and
+* a terminating **barrier cost**.
+
+The computation is a two-pass fixed point: duration determines how much
+noise falls in the window, which extends the duration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.freq.dvfs import FrequencyPlan
+from repro.omp.team import Team
+from repro.osnoise.model import NoiseRealization
+from repro.sched.balancer import StackingEpisode
+
+
+class NoiseMode(enum.Enum):
+    """How OS preemptions aggregate onto the region's critical path."""
+
+    MAX = "max"
+    SYNC_SUM = "sync_sum"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class RegionParams:
+    """Execution-model constants.
+
+    ``smt_efficiency`` is the *default* per-thread throughput factor when
+    two teammates share a core; it is workload-dependent (a throughput-
+    bound kernel sees ~0.6, the latency-bound EPCC delay loop ~0.95+), so
+    benchmarks may override it per region via
+    :meth:`RegionExecutor.execute`.
+    """
+
+    smt_efficiency: float = 0.62
+    smt_noise_penalty: float = 0.35
+    sync_noise_kappa: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.smt_efficiency <= 1.0:
+            raise ConfigurationError("smt_efficiency outside (0, 1]")
+        if not 0.0 <= self.smt_noise_penalty <= 1.0:
+            raise ConfigurationError("smt_noise_penalty outside [0, 1]")
+        if not 0.0 <= self.sync_noise_kappa <= 1.0:
+            raise ConfigurationError("sync_noise_kappa outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class RegionResult:
+    """Outcome of one region execution."""
+
+    start: float
+    end: float
+    per_thread_end: np.ndarray = field(compare=False)
+    noise_seconds: float = 0.0
+    stacking_seconds: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RegionExecutor:
+    """Executes regions against one run's frequency plan and noise."""
+
+    def __init__(
+        self,
+        freq_plan: FrequencyPlan,
+        noise: NoiseRealization,
+        params: RegionParams | None = None,
+    ):
+        self.freq_plan = freq_plan
+        self.noise = noise
+        self.params = params if params is not None else RegionParams()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _compute_duration(self, cpu: int, start: float, work_seconds: float) -> float:
+        """Rescale nominal work through the CPU's frequency trace."""
+        if work_seconds <= 0:
+            return 0.0
+        cycles = work_seconds * self.freq_plan.calibration_hz
+        return self.freq_plan.duration_for_cycles(cpu, start, cycles)
+
+    @staticmethod
+    def _stacking_extra(
+        episodes: tuple[StackingEpisode, ...], thread: int, t0: float, t1: float
+    ) -> float:
+        """Extra wall time thread *thread* loses to time-sharing in [t0, t1)."""
+        extra = 0.0
+        for ep in episodes:
+            if ep.thread != thread:
+                continue
+            overlap = min(t1, ep.end) - max(t0, ep.start)
+            if overlap > 0:
+                extra += overlap * (ep.slowdown_factor() - 1.0)
+        return extra
+
+    # -- main entry point --------------------------------------------------------
+
+    def execute(
+        self,
+        t_start: float,
+        team: Team,
+        work_seconds: np.ndarray,
+        *,
+        noise_mode: NoiseMode = NoiseMode.MAX,
+        sync_overhead: float = 0.0,
+        queue_floor: float = 0.0,
+        wake_delays: np.ndarray | None = None,
+        stacking_episodes: tuple[StackingEpisode, ...] = (),
+        barrier_cost: float = 0.0,
+        freq_sensitive: bool = True,
+        smt_efficiency: float | None = None,
+    ) -> RegionResult:
+        """Execute one parallel region starting at *t_start*.
+
+        Parameters
+        ----------
+        work_seconds:
+            Per-thread loop-body work at calibration frequency.
+        sync_overhead:
+            Critical-path synchronization time (construct costs x
+            iterations), also frequency-rescaled.
+        queue_floor:
+            Makespan lower bound from the dynamic-schedule queue.
+        barrier_cost:
+            Terminating barrier (added after the slowest thread).
+        freq_sensitive:
+            ``False`` for memory-bound work whose duration does not track
+            core frequency (BabelStream); per-thread work is then taken as
+            literal wall seconds and teammate-SMT sharing is assumed to be
+            already folded in by the caller's bandwidth model.
+        """
+        n = team.n_threads
+        work_seconds = np.asarray(work_seconds, dtype=np.float64)
+        if work_seconds.shape != (n,):
+            raise SimulationError(
+                f"work array shape {work_seconds.shape} != team size {n}"
+            )
+        if wake_delays is None:
+            wake_delays = np.zeros(n)
+        p = self.params
+
+        starts = t_start + wake_delays
+        if freq_sensitive:
+            # SMT sharing between teammates: shared cores retire work slower
+            eff_value = smt_efficiency if smt_efficiency is not None else p.smt_efficiency
+            if not 0.0 < eff_value <= 1.0:
+                raise ConfigurationError(f"smt_efficiency {eff_value} outside (0, 1]")
+            eff = np.where(team.smt_shared, eff_value, 1.0)
+            adj_work = work_seconds / eff
+            # pass 1: frequency-rescaled compute, no noise
+            durations = np.asarray(
+                [
+                    self._compute_duration(cpu, s, w)
+                    for cpu, s, w in zip(team.cpus, starts, adj_work)
+                ]
+            )
+            sync_scaled = 0.0
+            if sync_overhead > 0.0:
+                sync_scaled = self._compute_duration(
+                    team.master_cpu, t_start, sync_overhead
+                )
+        else:
+            durations = work_seconds.copy()
+            sync_scaled = sync_overhead
+
+        # window estimate for noise accounting (slight margin for pass 2)
+        base_end = float(np.max(starts + durations)) + sync_scaled
+        window_end = base_end + 0.25 * (base_end - t_start) + 1e-6
+
+        # pass 2: noise + stacking within the window
+        stolen = np.zeros(n)
+        sibling = np.zeros(n)
+        stacking = np.zeros(n)
+        for i, cpu in enumerate(team.cpus):
+            t0 = float(starts[i])
+            stolen[i] = self.noise.stolen_on(cpu).overlap(t0, window_end)
+            sib = self.noise.sibling_pressure_on(cpu)
+            if not sib.is_empty() and not team.smt_shared[i]:
+                # pressure only matters when the sibling is otherwise free
+                sibling[i] = sib.overlap(t0, window_end) * p.smt_noise_penalty
+            stacking[i] = self._stacking_extra(stacking_episodes, i, t0, window_end)
+
+        per_thread_delay = sibling + stacking
+        if noise_mode is NoiseMode.MAX:
+            per_thread_end = starts + durations + stolen + per_thread_delay
+            arrival = float(np.max(per_thread_end))
+            noise_seconds = float(np.max(stolen + sibling))
+        elif noise_mode is NoiseMode.SYNC_SUM:
+            shared_noise = p.sync_noise_kappa * float(np.sum(stolen))
+            per_thread_end = starts + durations + per_thread_delay + shared_noise
+            arrival = float(np.max(per_thread_end))
+            noise_seconds = shared_noise + float(np.sum(sibling))
+        elif noise_mode is NoiseMode.BALANCED:
+            spread = (float(np.sum(stolen)) + float(np.sum(per_thread_delay))) / n
+            per_thread_end = starts + durations + spread
+            arrival = float(np.max(per_thread_end))
+            noise_seconds = spread
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown noise mode {noise_mode!r}")
+
+        arrival += sync_scaled
+        arrival = max(arrival, t_start + queue_floor)
+        end = arrival + barrier_cost
+        return RegionResult(
+            start=t_start,
+            end=end,
+            per_thread_end=per_thread_end,
+            noise_seconds=noise_seconds,
+            stacking_seconds=float(np.sum(stacking)),
+        )

@@ -1,0 +1,170 @@
+"""The OpenMP runtime facade.
+
+:class:`OpenMPRuntime` resolves an :class:`~repro.omp.env.OMPEnvironment`
+against a platform into concrete thread teams and produces per-run
+execution contexts (:class:`RunContext`) that bundle everything a benchmark
+repetition needs: the run's frequency plan, its noise realization, the
+region executor, and the synchronization cost model.
+
+This module deliberately does not import :mod:`repro.platform`; it accepts
+any object exposing the platform attributes (duck-typed) so the dependency
+graph stays acyclic (platform -> omp -> substrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import BindingError, ConfigurationError
+from repro.freq.dvfs import FrequencyModel, FrequencyPlan
+from repro.freq.governor import make_governor
+from repro.omp.constructs import SyncCostModel
+from repro.omp.env import OMPEnvironment
+from repro.omp.places import parse_places
+from repro.omp.proc_bind import assign_cpus, bind_threads
+from repro.omp.region import RegionExecutor, RegionParams
+from repro.omp.team import Team
+from repro.osnoise.model import NoiseModel, NoiseRealization
+from repro.rng import RngFactory
+from repro.sched.model import ForkOutcome, SchedulerModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform import Platform
+
+
+@dataclass
+class RunContext:
+    """Everything one run (one process launch) of a benchmark needs.
+
+    The context owns a time cursor; benchmarks execute repetitions
+    sequentially along the run's realized noise/frequency timeline, which
+    is what produces natural within-run variability.
+    """
+
+    runtime: "OpenMPRuntime"
+    run_index: int
+    team: Team
+    fork: ForkOutcome
+    freq_plan: FrequencyPlan
+    noise: NoiseRealization
+    executor: RegionExecutor
+    sync_cost: SyncCostModel
+    rng: RngFactory
+    t: float = 0.0
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ConfigurationError(f"cannot advance cursor by {dt}")
+        self.t += dt
+
+    def stream(self, *path) -> np.random.Generator:
+        """Run-scoped RNG stream."""
+        return self.rng.stream(*path)
+
+    @property
+    def machine(self):
+        return self.runtime.machine
+
+    def refork_unbound(self, rng: np.random.Generator) -> None:
+        """Re-place an unbound team (called per outer repetition)."""
+        if self.team.bound:
+            return
+        outcome = self.runtime.sched_model.fork_unbound(
+            self.team.n_threads, self.team.master_cpu, self.t, rng
+        )
+        self.fork = outcome
+        self.team = self.team.with_cpus(list(outcome.cpus))
+
+
+class OpenMPRuntime:
+    """Resolves OMP settings into teams and run contexts for one platform."""
+
+    def __init__(self, platform: "Platform", env: OMPEnvironment):
+        self.platform = platform
+        self.env = env
+        self.machine = platform.machine
+        self.freq_model = FrequencyModel(platform.machine, platform.freq_spec)
+        self.noise_model = NoiseModel(platform.machine, platform.noise_profile.sources)
+        self.sched_model = SchedulerModel(platform.machine, platform.sched_params)
+        self.sync_cost = SyncCostModel(platform.sync_params)
+        self.governor = make_governor(platform.default_governor)
+        if env.num_threads > self.machine.n_cpus:
+            raise ConfigurationError(
+                f"{env.num_threads} threads exceed {self.machine.n_cpus} CPUs "
+                f"on {self.machine.name}"
+            )
+
+    # -- team resolution ---------------------------------------------------------
+
+    def resolve_bound_team(self) -> Team:
+        """Apply OMP_PLACES + OMP_PROC_BIND to get the pinned team."""
+        env = self.env
+        if not env.bound:
+            raise BindingError("resolve_bound_team with OMP_PROC_BIND=false")
+        places = parse_places(self.machine, env.places or "cores")
+        thread_places = bind_threads(env.num_threads, len(places), env.proc_bind)
+        cpus = assign_cpus(places, thread_places)
+        return Team(self.machine, tuple(cpus), bound=True)
+
+    def resolve_unbound_team(self, rng: np.random.Generator) -> tuple[Team, ForkOutcome]:
+        """Sample an OS placement for an unbound team (master on CPU 0)."""
+        outcome = self.sched_model.fork_unbound(
+            self.env.num_threads, master_cpu=0, t_start=0.0, rng=rng
+        )
+        return Team(self.machine, outcome.cpus, bound=False), outcome
+
+    # -- run contexts ---------------------------------------------------------------
+
+    def start_run(
+        self,
+        run_index: int,
+        rng_factory: RngFactory,
+        horizon: float,
+        extra_busy_cpus: tuple[int, ...] = (),
+    ) -> RunContext:
+        """Realize one run: placement, frequency plan, noise, executor.
+
+        *horizon* should generously cover the run's expected duration; the
+        frequency traces extend beyond it (last value holds) and noise
+        beyond it is absent, so prefer a 1.5-2x margin.
+
+        *extra_busy_cpus* marks CPUs occupied by non-benchmark activity the
+        experiment controls (e.g. the frequency logger's core).
+        """
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        run_rng = rng_factory.child("run", run_index)
+        if self.env.bound:
+            team = self.resolve_bound_team()
+            fork = self.sched_model.fork_bound(
+                list(team.cpus), run_rng.stream("fork")
+            )
+        else:
+            team, fork = self.resolve_unbound_team(run_rng.stream("placement"))
+
+        busy = list(dict.fromkeys(list(team.cpus) + list(extra_busy_cpus)))
+        # the frequency plan's boost/dip triggers follow the *team* (the
+        # logger on a spare core must not make a one-NUMA team look
+        # cross-NUMA); noise placement sees every busy CPU
+        freq_plan = self.freq_model.plan(
+            0.0, horizon, list(team.cpus), self.governor, run_rng.stream("freq")
+        )
+        noise = self.noise_model.realize(
+            0.0, horizon, busy, run_rng.stream("noise")
+        )
+        executor = RegionExecutor(freq_plan, noise, self.platform.region_params)
+        return RunContext(
+            runtime=self,
+            run_index=run_index,
+            team=team,
+            fork=fork,
+            freq_plan=freq_plan,
+            noise=noise,
+            executor=executor,
+            sync_cost=self.sync_cost,
+            rng=run_rng,
+            t=0.0,
+        )

@@ -1,0 +1,100 @@
+"""Thread teams.
+
+A :class:`Team` is the resolved execution context of a parallel region:
+one CPU per thread (for bound teams, fixed for the whole run; for unbound
+teams, the current OS placement) plus derived topology facts the cost
+models need (NUMA/socket span, SMT sharing between teammates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import BindingError
+from repro.topology.hwthread import Machine
+
+
+@dataclass(frozen=True)
+class Team:
+    """A resolved OpenMP thread team (thread 0 is the master)."""
+
+    machine: Machine
+    cpus: tuple[int, ...]
+    bound: bool
+
+    def __post_init__(self) -> None:
+        if not self.cpus:
+            raise BindingError("a team needs at least one thread")
+        for c in self.cpus:
+            if not 0 <= c < self.machine.n_cpus:
+                raise BindingError(f"team cpu {c} outside {self.machine.name}")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.cpus)
+
+    @property
+    def master_cpu(self) -> int:
+        return self.cpus[0]
+
+    @cached_property
+    def numa_span(self) -> int:
+        return self.machine.numa_span(self.cpus)
+
+    @cached_property
+    def socket_span(self) -> int:
+        return self.machine.socket_span(self.cpus)
+
+    @cached_property
+    def active_cores(self) -> int:
+        return self.machine.cores_spanned(self.cpus)
+
+    @cached_property
+    def smt_shared(self) -> np.ndarray:
+        """Boolean per thread: shares its physical core with a teammate."""
+        core_of = [self.machine.hwthread(c).core_id for c in self.cpus]
+        counts: dict[int, int] = {}
+        for core in core_of:
+            counts[core] = counts.get(core, 0) + 1
+        return np.asarray([counts[core] > 1 for core in core_of])
+
+    @cached_property
+    def uses_smt(self) -> bool:
+        """True when any two teammates share a core (the MT configuration)."""
+        return bool(self.smt_shared.any())
+
+    @cached_property
+    def outside_master_numa_fraction(self) -> float:
+        """Fraction of threads whose CPU is outside the master's NUMA domain."""
+        master_numa = self.machine.hwthread(self.master_cpu).numa_id
+        outside = sum(
+            1 for c in self.cpus if self.machine.hwthread(c).numa_id != master_numa
+        )
+        return outside / self.n_threads
+
+    @cached_property
+    def outside_master_socket_fraction(self) -> float:
+        """Fraction of threads whose CPU is outside the master's socket."""
+        master_socket = self.machine.hwthread(self.master_cpu).socket_id
+        outside = sum(
+            1 for c in self.cpus if self.machine.hwthread(c).socket_id != master_socket
+        )
+        return outside / self.n_threads
+
+    def with_cpus(self, cpus: list[int]) -> "Team":
+        """A team with the same machine/bound flag on different CPUs
+        (used when the OS migrates an unbound team)."""
+        return Team(self.machine, tuple(int(c) for c in cpus), self.bound)
+
+    def describe(self) -> str:
+        from repro.topology.cpuset import CpuSet
+
+        kind = "bound" if self.bound else "unbound"
+        return (
+            f"{self.n_threads} threads ({kind}) on cpus {CpuSet(self.cpus)} "
+            f"[{self.active_cores} cores, {self.numa_span} NUMA, "
+            f"{self.socket_span} socket(s)]"
+        )

@@ -1,0 +1,221 @@
+"""Noise realization: from event processes to per-CPU preemption sets.
+
+:class:`NoiseModel` samples every source of a profile over a run window,
+places unassigned events, and compiles the result into a
+:class:`NoiseRealization` that the execution model queries:
+
+* :meth:`NoiseRealization.stolen_on` — intervals during which a CPU is
+  executing OS work instead of the application thread pinned there
+  (a thread makes **no** progress inside these intervals), and
+* :meth:`NoiseRealization.sibling_pressure_on` — intervals during which the
+  *SMT sibling* of a CPU is executing OS work; the thread keeps running but
+  retires instructions more slowly (see the SMT penalty in the region
+  executor).
+
+Performance note: a full-scale schedbench run on the Dardel model realizes
+on the order of a million timer ticks, so the realization keeps events in
+flat NumPy arrays (start, duration, cpu, kind-code) and materializes
+per-CPU :class:`~repro.sim.intervals.IntervalSet` objects lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NoiseModelError
+from repro.osnoise.placement import IdleFirstPlacement, PlacementPolicy
+from repro.osnoise.source import NoiseEvent, NoiseSource
+from repro.sim.intervals import IntervalSet
+from repro.topology.hwthread import Machine
+
+
+@dataclass(frozen=True)
+class PlacedEvent:
+    """A noise event with its final CPU assignment."""
+
+    start: float
+    duration: float
+    kind: str
+    cpu: int
+
+
+class NoiseRealization:
+    """All noise of one run window, indexed for fast per-CPU queries."""
+
+    def __init__(self, machine: Machine, events: Sequence[PlacedEvent] | None = None,
+                 *, arrays: tuple[np.ndarray, np.ndarray, np.ndarray, list[str]] | None = None):
+        """Construct from a list of :class:`PlacedEvent` (tests, small runs)
+        or from flat arrays ``(starts, durations, cpus, kinds)`` (fast path).
+        """
+        self.machine = machine
+        if arrays is not None:
+            starts, durations, cpus, kinds = arrays
+            self._starts = np.asarray(starts, dtype=np.float64)
+            self._durations = np.asarray(durations, dtype=np.float64)
+            self._cpus = np.asarray(cpus, dtype=np.int64)
+            self._kinds = list(kinds)
+        else:
+            events = list(events or ())
+            self._starts = np.asarray([e.start for e in events], dtype=np.float64)
+            self._durations = np.asarray([e.duration for e in events], dtype=np.float64)
+            self._cpus = np.asarray([e.cpu for e in events], dtype=np.int64)
+            self._kinds = [e.kind for e in events]
+        if not (
+            self._starts.shape == self._durations.shape == self._cpus.shape
+            and len(self._kinds) == self._starts.size
+        ):
+            raise NoiseModelError("inconsistent noise arrays")
+        if self._cpus.size and (
+            self._cpus.min() < 0 or self._cpus.max() >= machine.n_cpus
+        ):
+            bad = self._cpus[(self._cpus < 0) | (self._cpus >= machine.n_cpus)][0]
+            raise NoiseModelError(f"event on unknown cpu {int(bad)}")
+        self._stolen: dict[int, IntervalSet] = {}
+        self._sibling: dict[int, IntervalSet] = {}
+        # pre-sort by cpu for O(log n) per-cpu slicing
+        order = np.argsort(self._cpus, kind="stable")
+        self._sorted_starts = self._starts[order]
+        self._sorted_durations = self._durations[order]
+        self._sorted_cpus = self._cpus[order]
+
+    # -- event access (lazy object materialization) ---------------------------
+
+    @property
+    def events(self) -> tuple[PlacedEvent, ...]:
+        return tuple(
+            PlacedEvent(float(s), float(d), k, int(c))
+            for s, d, k, c in zip(self._starts, self._durations, self._kinds, self._cpus)
+        )
+
+    @property
+    def n_events(self) -> int:
+        return int(self._starts.size)
+
+    def events_on(self, cpu: int) -> tuple[PlacedEvent, ...]:
+        return tuple(e for e in self.events if e.cpu == cpu)
+
+    def count_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for k in self._kinds:
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    # -- interval queries ---------------------------------------------------------
+
+    def _slice_cpu(self, cpu: int) -> tuple[np.ndarray, np.ndarray]:
+        lo = int(np.searchsorted(self._sorted_cpus, cpu, side="left"))
+        hi = int(np.searchsorted(self._sorted_cpus, cpu, side="right"))
+        return self._sorted_starts[lo:hi], self._sorted_durations[lo:hi]
+
+    def stolen_on(self, cpu: int) -> IntervalSet:
+        """Intervals during which *cpu* runs OS work (thread fully stalled)."""
+        cached = self._stolen.get(cpu)
+        if cached is None:
+            starts, durations = self._slice_cpu(cpu)
+            cached = IntervalSet.from_events(starts, durations)
+            self._stolen[cpu] = cached
+        return cached
+
+    def sibling_pressure_on(self, cpu: int) -> IntervalSet:
+        """Intervals during which any SMT sibling of *cpu* runs OS work."""
+        cached = self._sibling.get(cpu)
+        if cached is None:
+            result = IntervalSet.empty()
+            for s in self.machine.siblings_of(cpu):
+                result = result.union(self.stolen_on(s))
+            cached = result
+            self._sibling[cpu] = cached
+        return cached
+
+    def total_stolen(self, cpu: int, t_start: float, t_end: float) -> float:
+        """Seconds of *cpu* time stolen inside ``[t_start, t_end)``."""
+        return self.stolen_on(cpu).overlap(t_start, t_end)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NoiseRealization):
+            return NotImplemented
+        return (
+            np.array_equal(self._starts, other._starts)
+            and np.array_equal(self._durations, other._durations)
+            and np.array_equal(self._cpus, other._cpus)
+            and self._kinds == other._kinds
+        )
+
+
+class NoiseModel:
+    """Samples a set of sources into a :class:`NoiseRealization`."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        sources: Sequence[NoiseSource],
+        placement: PlacementPolicy | None = None,
+    ):
+        self.machine = machine
+        self.sources = tuple(sources)
+        self.placement = placement if placement is not None else IdleFirstPlacement()
+
+    def realize(
+        self,
+        t_start: float,
+        t_end: float,
+        busy_cpus: Sequence[int],
+        rng: np.random.Generator,
+    ) -> NoiseRealization:
+        """Sample all sources over ``[t_start, t_end)`` and place events.
+
+        *busy_cpus* is the set of CPUs hosting application threads — it
+        drives both tick generation (ticks fire on busy CPUs) and the
+        idle-first placement of daemons.
+        """
+        if t_end < t_start:
+            raise NoiseModelError("window end before start")
+        starts_parts: list[np.ndarray] = []
+        dur_parts: list[np.ndarray] = []
+        cpu_parts: list[np.ndarray] = []
+        kinds: list[str] = []
+        unplaced: list[NoiseEvent] = []
+        for source in self.sources:
+            sampled = source.sample_arrays(t_start, t_end, busy_cpus, rng)
+            if sampled is not None:
+                s, d, c, kind = sampled
+                starts_parts.append(s)
+                dur_parts.append(d)
+                cpu_parts.append(c)
+                kinds.extend([kind] * s.size)
+                continue
+            for ev in source.sample(t_start, t_end, busy_cpus, rng):
+                if ev.cpu is not None:
+                    starts_parts.append(np.asarray([ev.start]))
+                    dur_parts.append(np.asarray([ev.duration]))
+                    cpu_parts.append(np.asarray([ev.cpu]))
+                    kinds.append(ev.kind)
+                else:
+                    unplaced.append(ev)
+
+        if unplaced:
+            placed_events = self.placement.place(unplaced, self.machine, busy_cpus, rng)
+            for ev in placed_events:
+                if ev.cpu is None:
+                    raise NoiseModelError(
+                        f"placement left event {ev.kind!r} at t={ev.start} unassigned"
+                    )
+                starts_parts.append(np.asarray([ev.start]))
+                dur_parts.append(np.asarray([ev.duration]))
+                cpu_parts.append(np.asarray([ev.cpu]))
+                kinds.append(ev.kind)
+
+        if starts_parts:
+            starts = np.concatenate(starts_parts)
+            durations = np.concatenate(dur_parts)
+            cpus = np.concatenate(cpu_parts).astype(np.int64)
+        else:
+            starts = np.empty(0)
+            durations = np.empty(0)
+            cpus = np.empty(0, dtype=np.int64)
+        return NoiseRealization(
+            self.machine, arrays=(starts, durations, cpus, kinds)
+        )

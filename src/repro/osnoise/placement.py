@@ -1,0 +1,98 @@
+"""Placement of un-pinned noise events onto logical CPUs.
+
+The Linux scheduler wakes kernel threads on an idle CPU when one exists;
+only on a saturated machine do they preempt application threads.  This is
+the mechanism behind two of the paper's findings:
+
+* sparing 2 CPUs (30/32 on Vera, 254/256 on Dardel) gives the OS somewhere
+  to run, dramatically reducing variability at high thread counts, and
+* the ST configuration leaves each core's second hardware thread idle,
+  absorbing noise near the benchmark without preempting it.
+
+:class:`IdleFirstPlacement` implements exactly that preference order:
+fully-idle cores first, then idle SMT siblings of busy cores, then (machine
+saturated) a uniformly random busy CPU — a preemption.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NoiseModelError
+from repro.osnoise.source import NoiseEvent, placed
+from repro.topology.hwthread import Machine
+
+
+class PlacementPolicy:
+    """Assigns a CPU to every event whose source had no inherent affinity."""
+
+    def place(
+        self,
+        events: Sequence[NoiseEvent],
+        machine: Machine,
+        busy_cpus: Sequence[int],
+        rng: np.random.Generator,
+    ) -> list[NoiseEvent]:
+        raise NotImplementedError
+
+
+class IdleFirstPlacement(PlacementPolicy):
+    """Idle cores → idle siblings → random busy CPU (preemption)."""
+
+    def place(self, events, machine, busy_cpus, rng):
+        busy = set(int(c) for c in busy_cpus)
+        for cpu in busy:
+            if cpu >= machine.n_cpus:
+                raise NoiseModelError(f"busy cpu {cpu} not on {machine.name}")
+        busy_cores = {machine.hwthread(c).core_id for c in busy}
+
+        idle_free_cores = [
+            c for c in range(machine.n_cpus)
+            if c not in busy and machine.hwthread(c).core_id not in busy_cores
+        ]
+        idle_siblings = [
+            c for c in range(machine.n_cpus)
+            if c not in busy and machine.hwthread(c).core_id in busy_cores
+        ]
+        all_cpus = np.arange(machine.n_cpus)
+
+        out: list[NoiseEvent] = []
+        for ev in events:
+            if ev.cpu is not None:
+                out.append(ev)
+                continue
+            if idle_free_cores:
+                cpu = int(rng.choice(idle_free_cores))
+            elif idle_siblings:
+                cpu = int(rng.choice(idle_siblings))
+            else:
+                cpu = int(rng.choice(all_cpus))
+            out.append(placed(ev, cpu))
+        return out
+
+
+class PinnedPlacement(PlacementPolicy):
+    """Degenerate policy placing every unassigned event on a fixed CPU set.
+
+    Useful for ablations ("what if all daemons ran on CPU 0?") and tests.
+    """
+
+    def __init__(self, cpus: Sequence[int]):
+        if not len(cpus):
+            raise NoiseModelError("PinnedPlacement needs at least one cpu")
+        self.cpus = tuple(int(c) for c in cpus)
+
+    def place(self, events, machine, busy_cpus, rng):
+        for cpu in self.cpus:
+            if cpu >= machine.n_cpus:
+                raise NoiseModelError(f"cpu {cpu} not on {machine.name}")
+        choices = np.asarray(self.cpus)
+        out = []
+        for ev in events:
+            if ev.cpu is not None:
+                out.append(ev)
+            else:
+                out.append(placed(ev, int(rng.choice(choices))))
+        return out

@@ -1,0 +1,135 @@
+"""Per-platform noise profiles.
+
+The magnitudes below are calibrated against published OS-noise
+measurements (Morari et al., De Oliveira et al. — see the paper's related
+work) and against the variability the paper reports:
+
+* ticks: 250 Hz, a few microseconds each — the dominant *fine-grained*
+  noise on busy CPUs;
+* daemons: a few node-wide wakeups per second, hundreds of microseconds —
+  harmless while spare CPUs exist, disastrous for synchronization
+  benchmarks once the node is saturated;
+* IRQs: frequent but cheap, affine to CPU 0 (plus its SMT sibling on
+  Dardel) as on typical cluster nodes;
+* rare events: ~1 per minute, tens of milliseconds — the long tail that
+  produces isolated outlier repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.osnoise.source import NoiseSource, PoissonSource, TimerTickSource
+from repro.units import ms, us
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """A named bundle of noise sources."""
+
+    name: str
+    sources: tuple[NoiseSource, ...] = field(default=())
+
+    def scaled(self, factor: float) -> "NoiseProfile":
+        """A copy with every Poisson rate multiplied by *factor*.
+
+        Tick sources are left untouched (their rate is a kernel compile-time
+        constant, not load-dependent).  Used by ablation benchmarks.
+        """
+        scaled_sources: list[NoiseSource] = []
+        for s in self.sources:
+            if isinstance(s, PoissonSource):
+                scaled_sources.append(
+                    PoissonSource(
+                        rate=s.rate * factor,
+                        duration_median=s.duration_median,
+                        duration_sigma=s.duration_sigma,
+                        duration_cap=s.duration_cap,
+                        affinity=s.affinity,
+                        kind=s.kind,
+                    )
+                )
+            else:
+                scaled_sources.append(s)
+        return NoiseProfile(f"{self.name}-x{factor:g}", tuple(scaled_sources))
+
+    def without(self, kind: str) -> "NoiseProfile":
+        """A copy with every source of the given kind removed (ablations)."""
+        return NoiseProfile(
+            f"{self.name}-no-{kind}",
+            tuple(s for s in self.sources if s.kind != kind),
+        )
+
+
+def dardel_noise() -> NoiseProfile:
+    """Noise profile of the Dardel Cray EX node (SUSE, kernel 5.3)."""
+    return NoiseProfile(
+        "dardel",
+        (
+            TimerTickSource(hz=250.0, duration_mean=us(1.8), duration_jitter=us(0.9)),
+            PoissonSource(
+                rate=2.0,
+                duration_median=us(150),
+                duration_sigma=1.0,
+                duration_cap=ms(8),
+                kind="daemon",
+            ),
+            PoissonSource(
+                rate=40.0,
+                duration_median=us(6),
+                duration_sigma=0.5,
+                duration_cap=us(80),
+                affinity=(0, 128),  # irq affinity: cpu0 and its SMT sibling
+                kind="irq",
+            ),
+            PoissonSource(
+                rate=0.02,
+                duration_median=ms(10),
+                duration_sigma=0.5,
+                duration_cap=ms(30),
+                kind="rare",
+            ),
+        ),
+    )
+
+
+def vera_noise() -> NoiseProfile:
+    """Noise profile of the Vera node (Rocky Linux 8, kernel 4.18)."""
+    return NoiseProfile(
+        "vera",
+        (
+            TimerTickSource(hz=250.0, duration_mean=us(2.2), duration_jitter=us(1.1)),
+            PoissonSource(
+                rate=2.5,
+                duration_median=us(200),
+                duration_sigma=1.0,
+                duration_cap=ms(8),
+                kind="daemon",
+            ),
+            PoissonSource(
+                rate=30.0,
+                duration_median=us(8),
+                duration_sigma=0.5,
+                duration_cap=us(100),
+                affinity=(0,),
+                kind="irq",
+            ),
+            PoissonSource(
+                rate=0.02,
+                duration_median=ms(8),
+                duration_sigma=0.5,
+                duration_cap=ms(25),
+                kind="rare",
+            ),
+        ),
+    )
+
+
+def quiet_profile() -> NoiseProfile:
+    """No noise at all — used by unit tests and calibration runs."""
+    return NoiseProfile("quiet", ())
+
+
+def noisy_profile() -> NoiseProfile:
+    """A deliberately loud profile for stress tests and ablations."""
+    return dardel_noise().scaled(10.0)

@@ -1,0 +1,80 @@
+"""Load-balancer model: how long stacked threads stay stacked.
+
+When wakeup placement stacks two runnable threads on one CPU, they
+time-share (each receiving :attr:`SchedParams.stacking_share` of the CPU)
+until periodic/idle load balancing migrates one away.  The reproduction
+does not simulate individual balancer invocations; it samples the episode
+duration from a log-normal whose median is the configured balance latency —
+long enough to wreck a synchronization microbenchmark repetition, short
+compared to a BabelStream run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sched.params import SchedParams
+
+
+@dataclass(frozen=True)
+class StackingEpisode:
+    """One interval during which *thread* runs at reduced CPU share."""
+
+    thread: int
+    start: float
+    duration: float
+    share: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def slowdown_factor(self) -> float:
+        """Multiplier on execution time while the episode is active."""
+        return 1.0 / self.share
+
+
+class BalancerModel:
+    """Samples stacking-episode durations."""
+
+    def __init__(self, params: SchedParams):
+        self.params = params
+
+    def episode_duration(self, rng: np.random.Generator) -> float:
+        p = self.params
+        return float(
+            rng.lognormal(mean=np.log(p.balance_latency_median), sigma=p.balance_latency_sigma)
+        )
+
+    def episodes_for_placement(
+        self,
+        cpus: list[int],
+        start: float,
+        rng: np.random.Generator,
+    ) -> list[StackingEpisode]:
+        """Episodes for every thread stacked at fork time.
+
+        Threads sharing a CPU each get an episode starting at *start*; the
+        episode ends when the balancer resolves the collision.  With more
+        than two threads on a CPU the share shrinks accordingly.
+        """
+        episodes: list[StackingEpisode] = []
+        seen: dict[int, list[int]] = {}
+        for tid, cpu in enumerate(cpus):
+            seen.setdefault(cpu, []).append(tid)
+        for cpu, tids in seen.items():
+            if len(tids) <= 1:
+                continue
+            share = max(self.params.stacking_share / (len(tids) - 1), 1.0 / len(tids))
+            for tid in tids:
+                episodes.append(
+                    StackingEpisode(
+                        thread=tid,
+                        start=start,
+                        duration=self.episode_duration(rng),
+                        share=min(self.params.stacking_share, share * (len(tids) - 1)),
+                    )
+                )
+        return episodes

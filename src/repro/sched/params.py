@@ -1,0 +1,81 @@
+"""Scheduler model parameters.
+
+Defaults approximate a stock CFS configuration (``sched_latency`` ≈ 24 ms
+with many runnable tasks, ``migration_cost`` ≈ 0.5 ms) and the empirical
+observation that unbound OpenMP teams occasionally see multi-millisecond
+region delays when a worker is stacked behind another runnable task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ms, us
+
+
+@dataclass(frozen=True)
+class SchedParams:
+    """Tunable constants of the scheduler model.
+
+    Attributes
+    ----------
+    wake_ipi_cost:
+        Latency to wake a remote idle CPU (IPI + idle-exit), per fork.
+    wake_ipi_jitter:
+        Uniform half-width around :attr:`wake_ipi_cost`.
+    stacking_prob_per_thread:
+        Probability that a given unbound worker is stacked on a CPU that
+        already hosts a runnable thread at fork time, when idle CPUs still
+        exist.  Captures ``select_idle_sibling`` search failures; grows
+        with load internally.
+    stacking_share:
+        CPU share of each thread while two share a CPU (CFS: 0.5).
+    balance_latency_median / balance_latency_sigma:
+        Log-normal time until load balancing migrates one of the stacked
+        threads away (periodic + idle balance combined).
+    sched_delay_median / sched_delay_sigma / sched_delay_cap:
+        Log-normal extra delay when a woken thread must wait for a CPU
+        (no idle CPU found): roughly one scheduler period.
+    migration_rate_unbound:
+        Spontaneous migrations per thread per second for unbound threads
+        (NUMA balancing, periodic balance).
+    migration_penalty:
+        Cache/TLB refill cost per migration, in seconds of lost work.
+    fork_wake_fraction:
+        Fraction of the team woken per fork that actually pays the wake
+        path (others spin in the OpenMP runtime's thread pool).
+    """
+
+    wake_ipi_cost: float = us(3.0)
+    wake_ipi_jitter: float = us(2.0)
+    stacking_prob_per_thread: float = 0.0015
+    stacking_share: float = 0.5
+    balance_latency_median: float = ms(12.0)
+    balance_latency_sigma: float = 0.8
+    sched_delay_median: float = ms(3.0)
+    sched_delay_sigma: float = 1.0
+    sched_delay_cap: float = ms(80.0)
+    migration_rate_unbound: float = 0.5
+    migration_penalty: float = us(120.0)
+    fork_wake_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.wake_ipi_cost < 0 or self.wake_ipi_jitter < 0:
+            raise ConfigurationError("wake costs must be non-negative")
+        if self.wake_ipi_jitter > self.wake_ipi_cost:
+            raise ConfigurationError("wake jitter exceeds mean")
+        if not 0.0 <= self.stacking_prob_per_thread <= 1.0:
+            raise ConfigurationError("stacking probability outside [0, 1]")
+        if not 0.0 < self.stacking_share <= 1.0:
+            raise ConfigurationError("stacking share outside (0, 1]")
+        if self.balance_latency_median <= 0 or self.sched_delay_median <= 0:
+            raise ConfigurationError("latency medians must be positive")
+        if self.balance_latency_sigma < 0 or self.sched_delay_sigma < 0:
+            raise ConfigurationError("latency sigmas must be non-negative")
+        if self.sched_delay_cap <= 0:
+            raise ConfigurationError("delay cap must be positive")
+        if self.migration_rate_unbound < 0 or self.migration_penalty < 0:
+            raise ConfigurationError("migration parameters must be non-negative")
+        if not 0.0 <= self.fork_wake_fraction <= 1.0:
+            raise ConfigurationError("fork wake fraction outside [0, 1]")

@@ -1,0 +1,49 @@
+"""Simulated clock.
+
+A :class:`Clock` is a monotonic, manually advanced notion of "now" shared by
+every component participating in one simulation.  Keeping it as its own tiny
+object (rather than a float attribute on the engine) lets passive models —
+frequency traces, the sysfs shim, the frequency logger — observe time without
+depending on the event loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonic simulated time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time *t*.
+
+        Raises
+        ------
+        SimulationError
+            If *t* is in the past; simulated time never flows backwards.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now!r}, requested={t!r}"
+            )
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by *dt* seconds (``dt >= 0``)."""
+        if dt < 0:
+            raise SimulationError(f"negative clock advance: {dt!r}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.9f})"

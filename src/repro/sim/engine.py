@@ -1,0 +1,149 @@
+"""Event loop.
+
+The engine is a classic calendar queue over a binary heap.  Events are
+``(time, sequence, callback)`` triples; the sequence number makes ordering
+stable for simultaneous events (FIFO within a timestamp), which the tests
+rely on for determinism.
+
+Generator-based processes (see :mod:`repro.sim.process`) are driven by the
+engine: each ``yield Timeout(dt)`` re-schedules the generator ``dt`` seconds
+later.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.process import Process, Timeout
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A queued event.  Ordered by (time, seq) so ties are FIFO."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """Discrete-event engine.
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> seen = []
+    >>> _ = eng.schedule_at(2.0, lambda: seen.append("b"))
+    >>> _ = eng.schedule_at(1.0, lambda: seen.append("a"))
+    >>> eng.run()
+    >>> seen
+    ['a', 'b']
+    >>> eng.clock.now
+    2.0
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock if clock is not None else Clock()
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_at(self, t: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* at absolute time *t* (must not be in the past)."""
+        if t < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: t={t!r} < now={self.clock.now!r}"
+            )
+        ev = ScheduledEvent(float(t), next(self._seq), callback)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_after(self, dt: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* ``dt >= 0`` seconds from now."""
+        if dt < 0:
+            raise SimulationError(f"negative delay: {dt!r}")
+        return self.schedule_at(self.clock.now + dt, callback)
+
+    def spawn(self, generator: Generator, name: str = "proc") -> Process:
+        """Start a generator-based process immediately (first step at ``now``)."""
+        proc = Process(generator, name=name)
+        self.schedule_at(self.clock.now, lambda: self._step_process(proc))
+        return proc
+
+    def _step_process(self, proc: Process) -> None:
+        if not proc.alive:
+            return
+        command = proc.step()
+        if command is None:  # process finished
+            return
+        if isinstance(command, Timeout):
+            if command.delay < 0:
+                proc.kill()
+                raise SimulationError(
+                    f"process {proc.name!r} yielded negative timeout {command.delay!r}"
+                )
+            self.schedule_after(command.delay, lambda: self._step_process(proc))
+        else:
+            proc.kill()
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported command {command!r}"
+            )
+
+    # -- running ------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (not yet executed, not cancelled) events."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time)
+            ev.callback()
+            self._events_executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains or the clock would pass *until*.
+
+        When *until* is given, the clock is left exactly at *until* and any
+        later events stay queued (so a simulation can be resumed).
+        """
+        executed = 0
+        while self._queue:
+            ev = self._queue[0]
+            if ev.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and ev.time > until:
+                break
+            if executed >= max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events} events); "
+                    f"likely a runaway periodic process"
+                )
+            self.step()
+            executed += 1
+        if until is not None and until > self.clock.now:
+            self.clock.advance_to(until)

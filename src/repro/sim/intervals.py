@@ -1,0 +1,189 @@
+"""Sorted disjoint interval algebra.
+
+Noise accounting reduces to questions about unions of time intervals:
+*how much of window [a, b) is stolen by noise on this hardware thread?* and
+*given that noise preempts me entirely, when do I finish W seconds of work
+started at t0?*  :class:`IntervalSet` answers both exactly and is the
+workhorse of :mod:`repro.omp.region`.
+
+Intervals are half-open ``[start, end)``.  The set is normalized on
+construction: sorted, overlaps merged, empty intervals dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """An immutable union of disjoint, sorted half-open intervals."""
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, starts: Sequence[float], ends: Sequence[float], *, _normalized: bool = False):
+        s = np.asarray(starts, dtype=np.float64)
+        e = np.asarray(ends, dtype=np.float64)
+        if s.shape != e.shape or s.ndim != 1:
+            raise ValueError("starts/ends must be 1-D arrays of equal length")
+        if not _normalized:
+            s, e = _normalize(s, e)
+        object.__setattr__(self, "starts", s)
+        object.__setattr__(self, "ends", e)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("IntervalSet is immutable")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls(np.empty(0), np.empty(0), _normalized=True)
+
+    @classmethod
+    def from_events(cls, starts: Sequence[float], durations: Sequence[float]) -> "IntervalSet":
+        """Build from event start times and durations (overlaps merged)."""
+        s = np.asarray(starts, dtype=np.float64)
+        d = np.asarray(durations, dtype=np.float64)
+        if np.any(d < 0):
+            raise ValueError("negative duration")
+        return cls(s, s + d)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]]) -> "IntervalSet":
+        pairs = list(pairs)
+        if not pairs:
+            return cls.empty()
+        s, e = zip(*pairs)
+        return cls(np.asarray(s), np.asarray(e))
+
+    # -- basic properties ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def __iter__(self):
+        return iter(zip(self.starts.tolist(), self.ends.tolist()))
+
+    @property
+    def total(self) -> float:
+        """Total measure (summed length) of the set."""
+        return float(np.sum(self.ends - self.starts))
+
+    def is_empty(self) -> bool:
+        return self.starts.size == 0
+
+    def contains_point(self, t: float) -> bool:
+        idx = np.searchsorted(self.starts, t, side="right") - 1
+        if idx < 0:
+            return False
+        return bool(t < self.ends[idx])
+
+    # -- measure queries -----------------------------------------------------
+
+    def overlap(self, a: float, b: float) -> float:
+        """Measure of the intersection with window ``[a, b)``."""
+        if b <= a or self.is_empty():
+            return 0.0
+        lo = np.maximum(self.starts, a)
+        hi = np.minimum(self.ends, b)
+        return float(np.sum(np.maximum(0.0, hi - lo)))
+
+    def clip(self, a: float, b: float) -> "IntervalSet":
+        """The intersection with ``[a, b)`` as a new set."""
+        if b <= a or self.is_empty():
+            return IntervalSet.empty()
+        lo = np.maximum(self.starts, a)
+        hi = np.minimum(self.ends, b)
+        keep = hi > lo
+        return IntervalSet(lo[keep], hi[keep], _normalized=True)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(
+            np.concatenate([self.starts, other.starts]),
+            np.concatenate([self.ends, other.ends]),
+        )
+
+    def complement_within(self, a: float, b: float) -> "IntervalSet":
+        """``[a, b)`` minus this set — the *free* time in the window."""
+        if b <= a:
+            return IntervalSet.empty()
+        clipped = self.clip(a, b)
+        if clipped.is_empty():
+            return IntervalSet(np.asarray([a]), np.asarray([b]), _normalized=True)
+        gaps_s = np.concatenate([[a], clipped.ends])
+        gaps_e = np.concatenate([clipped.starts, [b]])
+        keep = gaps_e > gaps_s
+        return IntervalSet(gaps_s[keep], gaps_e[keep], _normalized=True)
+
+    # -- the preemption query -------------------------------------------------
+
+    def finish_time(self, start: float, work: float) -> float:
+        """Completion time of *work* seconds of CPU started at *start*,
+        assuming the CPU is unavailable whenever inside this set.
+
+        The thread makes progress only in the gaps; if it starts inside a
+        busy interval it waits until the interval ends.  ``work == 0``
+        returns *start* even if *start* is inside a busy interval.
+        """
+        if work < 0:
+            raise ValueError(f"negative work: {work}")
+        if work == 0.0:
+            return start
+        if self.is_empty():
+            return start + work
+        remaining = float(work)
+        t = float(start)
+        # index of the first interval that could affect t
+        i = int(np.searchsorted(self.ends, t, side="right"))
+        n = len(self)
+        while True:
+            if i >= n:
+                return t + remaining
+            # free gap before interval i
+            gap_end = float(self.starts[i])
+            if t < gap_end:
+                avail = gap_end - t
+                if remaining <= avail:
+                    return t + remaining
+                remaining -= avail
+            # skip busy interval i
+            t = max(t, float(self.ends[i]))
+            i += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntervalSet(n={len(self)}, total={self.total:.6g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return np.array_equal(self.starts, other.starts) and np.array_equal(
+            self.ends, other.ends
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.starts.tobytes(), self.ends.tobytes()))
+
+
+def _normalize(starts: np.ndarray, ends: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort by start, drop empties, merge overlapping/touching intervals."""
+    keep = ends > starts
+    starts, ends = starts[keep], ends[keep]
+    if starts.size == 0:
+        return starts, ends
+    order = np.argsort(starts, kind="stable")
+    starts, ends = starts[order], ends[order]
+    # merge: an interval is a new group head if it starts after the running max end
+    merged_s = [float(starts[0])]
+    merged_e = [float(ends[0])]
+    for s, e in zip(starts[1:], ends[1:]):
+        if s <= merged_e[-1]:
+            if e > merged_e[-1]:
+                merged_e[-1] = float(e)
+        else:
+            merged_s.append(float(s))
+            merged_e.append(float(e))
+    return np.asarray(merged_s), np.asarray(merged_e)

@@ -1,0 +1,65 @@
+"""Statistical analysis of performance variability.
+
+Implements the paper's metrics and the standard characterization toolkit:
+
+* :mod:`repro.stats.descriptive` — mean/sd/CV, normalized min/max
+  (Figure 3's metric), percentiles;
+* :mod:`repro.stats.outliers` — 3-sigma (EPCC), IQR and MAD detectors;
+* :mod:`repro.stats.bootstrap` — bootstrap confidence intervals;
+* :mod:`repro.stats.compare` — two-sample comparisons (Kolmogorov-Smirnov,
+  Mann-Whitney, variance ratio) used to decide whether a mitigation
+  (pinning, ST) significantly changed the distribution;
+* :mod:`repro.stats.variability` — run-to-run vs within-run variance
+  decomposition and the :class:`~repro.stats.variability.VariabilityReport`
+  the harness renders.
+"""
+
+from repro.stats.descriptive import (
+    SummaryStats,
+    coefficient_of_variation,
+    normalized_min_max,
+    summarize,
+)
+from repro.stats.outliers import (
+    iqr_outliers,
+    mad_outliers,
+    sigma_outliers,
+)
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.compare import ComparisonResult, compare_samples, variance_ratio
+from repro.stats.distribution import (
+    LognormalFit,
+    bimodality_coefficient,
+    fit_lognormal,
+    is_bimodal,
+    lognormal_ks,
+    tail_fraction,
+)
+from repro.stats.variability import (
+    VariabilityDecomposition,
+    VariabilityReport,
+    decompose_variability,
+)
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "coefficient_of_variation",
+    "normalized_min_max",
+    "sigma_outliers",
+    "iqr_outliers",
+    "mad_outliers",
+    "bootstrap_ci",
+    "compare_samples",
+    "ComparisonResult",
+    "variance_ratio",
+    "LognormalFit",
+    "fit_lognormal",
+    "lognormal_ks",
+    "bimodality_coefficient",
+    "is_bimodal",
+    "tail_fraction",
+    "VariabilityDecomposition",
+    "VariabilityReport",
+    "decompose_variability",
+]

@@ -1,0 +1,31 @@
+"""Hardware topology substrate.
+
+Models a shared-memory node the way Linux exposes it: *hardware threads*
+(logical CPUs with OS ids) grouped into *cores* (SMT siblings), cores into
+*NUMA domains*, domains into *sockets*.  The two platforms of the paper are
+provided as presets:
+
+* :func:`~repro.topology.platforms.dardel_topology` — 2× AMD EPYC Zen2
+  64-core, SMT-2, 8 NUMA domains of 16 cores, 256 hardware threads.
+* :func:`~repro.topology.platforms.vera_topology` — 2× Intel Xeon Gold 6130
+  16-core, 2 NUMA domains, 32 hardware threads (SMT disabled, as on Vera).
+"""
+
+from repro.topology.hwthread import Core, HWThread, Machine, NUMADomain, Socket
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cpuset import CpuSet
+from repro.topology.distance import numa_distance_matrix
+from repro.topology.platforms import dardel_topology, vera_topology
+
+__all__ = [
+    "HWThread",
+    "Core",
+    "NUMADomain",
+    "Socket",
+    "Machine",
+    "TopologyBuilder",
+    "CpuSet",
+    "numa_distance_matrix",
+    "dardel_topology",
+    "vera_topology",
+]

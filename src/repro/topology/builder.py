@@ -1,0 +1,138 @@
+"""Programmatic topology construction.
+
+:class:`TopologyBuilder` assembles a :class:`~repro.topology.hwthread.Machine`
+from a regular description (sockets × NUMA-per-socket × cores-per-NUMA ×
+SMT level) using the Linux CPU numbering convention described in
+:mod:`repro.topology.hwthread`.  Irregular machines can be built by calling
+:meth:`add_socket` with explicit shapes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.distance import numa_distance_matrix
+from repro.topology.hwthread import Core, HWThread, Machine, NUMADomain, Socket
+
+
+class TopologyBuilder:
+    """Incremental machine builder.
+
+    Examples
+    --------
+    >>> m = TopologyBuilder("toy").add_sockets(2, numa_per_socket=1,
+    ...                                        cores_per_numa=4, smt=2).build()
+    >>> m.n_cores, m.n_cpus, m.n_numa
+    (8, 16, 2)
+    >>> m.cores[0].cpu_ids   # sibling numbering: second thread offset by n_cores
+    (0, 8)
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._socket_shapes: list[tuple[int, int]] = []  # (numa_count, cores_per_numa)
+        self._smt = 1
+
+    def add_socket(self, numa_count: int, cores_per_numa: int) -> "TopologyBuilder":
+        if numa_count <= 0 or cores_per_numa <= 0:
+            raise TopologyError("socket must have >=1 NUMA domain and >=1 core")
+        self._socket_shapes.append((numa_count, cores_per_numa))
+        return self
+
+    def add_sockets(
+        self, count: int, numa_per_socket: int, cores_per_numa: int, smt: int = 1
+    ) -> "TopologyBuilder":
+        if count <= 0:
+            raise TopologyError("need at least one socket")
+        for _ in range(count):
+            self.add_socket(numa_per_socket, cores_per_numa)
+        return self.smt_level(smt)
+
+    def smt_level(self, smt: int) -> "TopologyBuilder":
+        if smt < 1:
+            raise TopologyError(f"SMT level must be >= 1, got {smt}")
+        self._smt = smt
+        return self
+
+    def build(self) -> Machine:
+        if not self._socket_shapes:
+            raise TopologyError("no sockets defined")
+        smt = self._smt
+        n_cores_total = sum(n * c for n, c in self._socket_shapes)
+
+        cores: list[Core] = []
+        numa_domains: list[NUMADomain] = []
+        sockets: list[Socket] = []
+
+        core_id = 0
+        numa_id = 0
+        for socket_id, (numa_count, cores_per_numa) in enumerate(self._socket_shapes):
+            socket_numa_ids = []
+            socket_core_ids = []
+            for _ in range(numa_count):
+                domain_core_ids = []
+                for _ in range(cores_per_numa):
+                    cpu_ids = tuple(
+                        core_id + k * n_cores_total for k in range(smt)
+                    )
+                    cores.append(
+                        Core(
+                            core_id=core_id,
+                            cpu_ids=cpu_ids,
+                            numa_id=numa_id,
+                            socket_id=socket_id,
+                        )
+                    )
+                    domain_core_ids.append(core_id)
+                    core_id += 1
+                domain_cpu_ids = tuple(
+                    cpu for c in domain_core_ids for cpu in cores[c].cpu_ids
+                )
+                numa_domains.append(
+                    NUMADomain(
+                        numa_id=numa_id,
+                        socket_id=socket_id,
+                        core_ids=tuple(domain_core_ids),
+                        cpu_ids=domain_cpu_ids,
+                    )
+                )
+                socket_numa_ids.append(numa_id)
+                socket_core_ids.extend(domain_core_ids)
+                numa_id += 1
+            socket_cpu_ids = tuple(
+                cpu for c in socket_core_ids for cpu in cores[c].cpu_ids
+            )
+            sockets.append(
+                Socket(
+                    socket_id=socket_id,
+                    numa_ids=tuple(socket_numa_ids),
+                    core_ids=tuple(socket_core_ids),
+                    cpu_ids=socket_cpu_ids,
+                )
+            )
+
+        # hw threads ordered by cpu id
+        n_cpus = n_cores_total * smt
+        hwthreads: list[HWThread | None] = [None] * n_cpus
+        for core in cores:
+            for smt_index, cpu in enumerate(core.cpu_ids):
+                hwthreads[cpu] = HWThread(
+                    cpu_id=cpu,
+                    core_id=core.core_id,
+                    smt_index=smt_index,
+                    numa_id=core.numa_id,
+                    socket_id=core.socket_id,
+                )
+        if any(t is None for t in hwthreads):
+            raise TopologyError("internal error: cpu numbering left gaps")
+
+        distance = numa_distance_matrix(
+            [d.socket_id for d in numa_domains]
+        )
+        return Machine(
+            name=self.name,
+            hwthreads=tuple(hwthreads),  # type: ignore[arg-type]
+            cores=tuple(cores),
+            numa_domains=tuple(numa_domains),
+            sockets=tuple(sockets),
+            numa_distance=distance,
+        )

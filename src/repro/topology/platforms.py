@@ -1,0 +1,40 @@
+"""Topology presets for the two platforms of the paper (Section 4.1).
+
+* **Dardel** (PDC, HPE Cray EX): each node has two AMD EPYC Zen2 ("Rome")
+  2.25 GHz 64-core processors with two hardware threads per core — 128
+  cores / 256 logical CPUs — organized as 8 NUMA domains of 16 cores
+  (NPS4: each socket is a quad-NUMA domain).  Max boost 3.4 GHz.
+* **Vera** (C3SE): each node has two Intel Xeon Gold 6130 2.1 GHz 16-core
+  processors — 32 cores, one NUMA domain per socket.  SMT is not available
+  to jobs ("Vera does not support SMT"), so the topology is built SMT-1.
+  Max turbo 3.7 GHz.
+
+Only the *topology* is built here; frequency, memory and noise parameters
+live in :mod:`repro.platform`, which bundles everything into a
+:class:`~repro.platform.Platform`.
+"""
+
+from __future__ import annotations
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.hwthread import Machine
+
+__all__ = ["dardel_topology", "vera_topology"]
+
+
+def dardel_topology() -> Machine:
+    """2× AMD EPYC 7742-class: 8 NUMA × 16 cores, SMT-2, 256 CPUs."""
+    return (
+        TopologyBuilder("dardel")
+        .add_sockets(2, numa_per_socket=4, cores_per_numa=16, smt=2)
+        .build()
+    )
+
+
+def vera_topology() -> Machine:
+    """2× Intel Xeon Gold 6130: 2 NUMA × 16 cores, SMT-1, 32 CPUs."""
+    return (
+        TopologyBuilder("vera")
+        .add_sockets(2, numa_per_socket=1, cores_per_numa=16, smt=1)
+        .build()
+    )

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dardel" in out and "vera" in out
+        assert "syncbench" in out
+        assert "table2" in out and "figure7" in out
+
+
+class TestPlatform:
+    def test_describe_dardel(self, capsys):
+        assert main(["platform", "dardel"]) == 0
+        out = capsys.readouterr().out
+        assert "256 hardware threads" in out
+
+    def test_unknown_platform_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["platform", "cray-1"])
+
+
+class TestExperiment:
+    def test_table2_quick(self, capsys):
+        assert main(["experiment", "table2", "--runs", "2", "--reps", "5",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dardel@4" in out
+        assert "vera@30" in out
+
+    def test_figure6_quick(self, capsys):
+        assert main(["experiment", "figure6", "--runs", "2", "--reps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "one-numa" in out and "two-numa" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+
+class TestRun:
+    def test_run_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "r.json"
+        rc = main([
+            "run", "--platform", "toy", "--benchmark", "syncbench",
+            "--threads", "4", "--runs", "2", "--reps", "5",
+            "--out", str(out_file),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+        data = json.loads(out_file.read_text())
+        assert data["config"]["platform"] == "toy"
+        assert len(data["records"]) == 2
+
+    def test_run_babelstream(self, capsys):
+        rc = main([
+            "run", "--platform", "toy", "--benchmark", "babelstream",
+            "--threads", "4", "--runs", "1", "--reps", "3",
+        ])
+        assert rc == 0
+        assert "triad" in capsys.readouterr().out
+
+    def test_run_unbound(self, capsys):
+        rc = main([
+            "run", "--platform", "toy", "--benchmark", "schedbench",
+            "--threads", "4", "--proc-bind", "false", "--schedule", "dynamic",
+            "--chunk", "1", "--runs", "1", "--reps", "3",
+        ])
+        assert rc == 0
+        assert "dynamic_1" in capsys.readouterr().out
+
+    def test_error_path_returns_one(self, capsys):
+        # more threads than the toy machine's 16 cpus
+        rc = main([
+            "run", "--platform", "toy", "--benchmark", "syncbench",
+            "--threads", "999", "--runs", "1",
+        ])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,280 @@
+"""Tests for the frequency/DVFS substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrequencyError
+from repro.freq import (
+    BoostTable,
+    CpuFreqSysfs,
+    DerateProcess,
+    DipProcess,
+    FrequencyModel,
+    FrequencySpec,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    OndemandGovernor,
+    SchedutilGovernor,
+    make_governor,
+)
+from repro.rng import RngFactory
+from repro.topology import TopologyBuilder
+from repro.units import ghz
+
+
+@pytest.fixture
+def machine():
+    return TopologyBuilder("toy").add_sockets(2, 1, 4, smt=1).build()
+
+
+def simple_spec(**kwargs):
+    defaults = dict(
+        min_hz=ghz(1.0),
+        base_hz=ghz(2.0),
+        boost=BoostTable.from_ghz([(2, 3.0), (4, 2.6), (8, 2.2)]),
+        pstate_step_hz=25e6,
+    )
+    defaults.update(kwargs)
+    return FrequencySpec(**defaults)
+
+
+class TestBoostTable:
+    def test_lookup(self):
+        t = BoostTable.from_ghz([(2, 3.7), (16, 3.1), (32, 2.8)])
+        assert t.freq_for(1) == ghz(3.7)
+        assert t.freq_for(2) == ghz(3.7)
+        assert t.freq_for(3) == ghz(3.1)
+        assert t.freq_for(16) == ghz(3.1)
+        assert t.freq_for(17) == ghz(2.8)
+        assert t.freq_for(500) == ghz(2.8)  # beyond table: all-core floor
+
+    def test_properties(self):
+        t = BoostTable.from_ghz([(2, 3.7), (32, 2.8)])
+        assert t.single_core_boost == ghz(3.7)
+        assert t.all_core_floor == ghz(2.8)
+
+    def test_flat(self):
+        t = BoostTable.flat(ghz(2.0))
+        assert t.freq_for(1) == t.freq_for(1000) == ghz(2.0)
+
+    def test_validation(self):
+        with pytest.raises(FrequencyError):
+            BoostTable(())
+        with pytest.raises(FrequencyError):
+            BoostTable.from_ghz([(2, 3.0), (2, 2.8)])  # non-increasing counts
+        with pytest.raises(FrequencyError):
+            BoostTable.from_ghz([(2, 3.0), (4, 3.5)])  # increasing freq
+        with pytest.raises(FrequencyError):
+            t = BoostTable.from_ghz([(2, 3.0)])
+            t.freq_for(-1)
+
+
+class TestGovernors:
+    def test_performance(self):
+        g = PerformanceGovernor()
+        assert g.target_freq(1e9, 3e9, 0.0) == 3e9
+        assert g.target_freq(1e9, 3e9, 1.0) == 3e9
+
+    def test_powersave(self):
+        g = PowersaveGovernor()
+        assert g.target_freq(1e9, 3e9, 1.0) == 1e9
+
+    def test_ondemand_threshold(self):
+        g = OndemandGovernor(up_threshold=0.8)
+        assert g.target_freq(1e9, 3e9, 0.9) == 3e9
+        mid = g.target_freq(1e9, 3e9, 0.4)
+        assert 1e9 < mid < 3e9
+
+    def test_schedutil_curve(self):
+        g = SchedutilGovernor()
+        assert g.target_freq(1e9, 3e9, 1.0) == 3e9
+        assert g.target_freq(1e9, 3e9, 0.0) == 1e9
+        assert g.target_freq(1e9, 3e9, 0.5) == pytest.approx(1.25 * 0.5 * 3e9)
+
+    def test_make_governor(self):
+        assert make_governor("performance").name == "performance"
+        with pytest.raises(FrequencyError):
+            make_governor("warp-speed")
+
+    def test_input_validation(self):
+        g = PerformanceGovernor()
+        with pytest.raises(FrequencyError):
+            g.target_freq(-1.0, 3e9, 0.5)
+        with pytest.raises(FrequencyError):
+            g.target_freq(1e9, 3e9, 1.5)
+        with pytest.raises(FrequencyError):
+            g.target_freq(3e9, 1e9, 0.5)
+
+
+class TestDipProcess:
+    def test_zero_rate_no_dips(self, machine):
+        p = DipProcess(base_rate=0.0, cross_numa_rate=0.0)
+        rng = RngFactory(1).stream("dips")
+        assert p.sample(0.0, 100.0, (0,), False, rng) == []
+
+    def test_cross_numa_raises_rate(self):
+        p = DipProcess(base_rate=0.5, cross_numa_rate=4.0)
+        assert p.rate(False) == 0.5
+        assert p.rate(True) == 4.5
+
+    def test_sample_statistics(self):
+        p = DipProcess(base_rate=5.0, duration_median=0.01)
+        rng = RngFactory(2).stream("dips")
+        dips = p.sample(0.0, 200.0, (0,), False, rng)
+        # expect ~1000 dips; Poisson fluctuation well within +-20%
+        assert 800 < len(dips) < 1200
+        for d in dips[:50]:
+            assert 0.0 <= d.start < 200.0
+            assert d.duration > 0
+            assert 0.0 < d.depth <= 1.0
+
+    def test_per_socket_sampling(self):
+        p = DipProcess(base_rate=2.0)
+        rng = RngFactory(3).stream("dips")
+        dips = p.sample(0.0, 50.0, (0, 1), False, rng)
+        sockets = {d.socket_id for d in dips}
+        assert sockets == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(FrequencyError):
+            DipProcess(base_rate=-1.0)
+        with pytest.raises(FrequencyError):
+            DipProcess(depth_low=0.9, depth_high=0.5)
+
+
+class TestDerateProcess:
+    def test_probability_scales_with_load(self):
+        p = DerateProcess(prob_at_full_load=0.1, load_exponent=2.0)
+        assert p.probability(1.0) == pytest.approx(0.1)
+        assert p.probability(0.5) == pytest.approx(0.025)
+        assert p.probability(0.0) == 0.0
+
+    def test_sample_factor_bounds(self):
+        p = DerateProcess(prob_at_full_load=1.0, depth_low=0.88, depth_high=0.94)
+        rng = RngFactory(4).stream("derate")
+        for _ in range(20):
+            f = p.sample_factor(1.0, rng)
+            assert 0.88 <= f <= 0.94
+
+    def test_zero_probability_never_derates(self):
+        p = DerateProcess(prob_at_full_load=0.0)
+        rng = RngFactory(5).stream("derate")
+        assert all(p.sample_factor(1.0, rng) == 1.0 for _ in range(50))
+
+
+class TestFrequencyModel:
+    def test_steady_plan_performance_governor(self, machine):
+        spec = simple_spec()
+        model = FrequencyModel(machine, spec)
+        rng = RngFactory(1).stream("freq")
+        plan = model.plan(0.0, 1.0, active_cpus=[0, 1], governor=PerformanceGovernor(), rng=rng)
+        # 2 active cores -> boost 3.0 GHz for every cpu (performance governor)
+        assert plan.freq_at(0, 0.5) == pytest.approx(ghz(3.0))
+        assert plan.freq_at(7, 0.5) == pytest.approx(ghz(3.0))
+
+    def test_boost_depends_on_active_cores(self, machine):
+        spec = simple_spec()
+        model = FrequencyModel(machine, spec)
+        rng = RngFactory(1).stream("freq")
+        plan = model.plan(0.0, 1.0, active_cpus=list(range(6)), governor=PerformanceGovernor(), rng=rng)
+        assert plan.freq_at(0, 0.5) == pytest.approx(ghz(2.2))
+
+    def test_duration_for_cycles(self, machine):
+        model = FrequencyModel(machine, simple_spec())
+        rng = RngFactory(1).stream("freq")
+        plan = model.plan(0.0, 1.0, [0], PerformanceGovernor(), rng)
+        # 3 GHz: 3e9 cycles take 1 second
+        assert plan.duration_for_cycles(0, 0.0, 3.0e9) == pytest.approx(1.0)
+        assert plan.duration_for_cycles(0, 0.0, 0.0) == 0.0
+
+    def test_dips_lower_frequency(self, machine):
+        spec = simple_spec(
+            dips=DipProcess(base_rate=50.0, duration_median=0.01, depth_low=0.7, depth_high=0.8)
+        )
+        model = FrequencyModel(machine, spec)
+        rng = RngFactory(7).stream("freq")
+        plan = model.plan(0.0, 2.0, [0, 1], PerformanceGovernor(), rng)
+        assert len(plan.dips) > 0
+        trace = plan.trace(0)
+        assert trace.min_value(0.0, 2.0) < ghz(3.0) * 0.85
+
+    def test_derate_affects_whole_window(self, machine):
+        spec = simple_spec(derate=DerateProcess(prob_at_full_load=1.0, load_exponent=0.0))
+        model = FrequencyModel(machine, spec)
+        rng = RngFactory(8).stream("freq")
+        plan = model.plan(0.0, 1.0, [0, 1], PerformanceGovernor(), rng)
+        f = plan.freq_at(0, 0.5)
+        assert f < ghz(3.0) * 0.95
+
+    def test_determinism(self, machine):
+        spec = simple_spec(jitter_amplitude=0.01, jitter_rate=5.0,
+                           dips=DipProcess(base_rate=2.0))
+        model = FrequencyModel(machine, spec)
+        p1 = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(9).stream("f"))
+        p2 = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(9).stream("f"))
+        np.testing.assert_array_equal(p1.snapshot(0.5), p2.snapshot(0.5))
+
+    def test_snapshot_shape(self, machine):
+        model = FrequencyModel(machine, simple_spec())
+        plan = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(1).stream("f"))
+        assert plan.snapshot(0.1).shape == (machine.n_cpus,)
+
+    def test_quantization(self, machine):
+        spec = simple_spec(jitter_amplitude=0.02, jitter_rate=50.0)
+        model = FrequencyModel(machine, spec)
+        plan = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(3).stream("f"))
+        values = plan.trace(0).values
+        steps = values / spec.pstate_step_hz
+        np.testing.assert_allclose(steps, np.round(steps), atol=1e-9)
+
+    def test_spec_validation(self):
+        with pytest.raises(FrequencyError):
+            simple_spec(min_hz=ghz(3.0), base_hz=ghz(2.0))
+        with pytest.raises(FrequencyError):
+            simple_spec(base_hz=ghz(3.5))  # above single-core boost
+
+
+class TestSysfs:
+    def test_read_paths(self, machine):
+        spec = simple_spec()
+        model = FrequencyModel(machine, spec)
+        plan = model.plan(0.0, 1.0, [0, 1], PerformanceGovernor(), RngFactory(1).stream("f"))
+        fs = CpuFreqSysfs(spec, plan, "performance")
+        khz = int(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq", 0.5))
+        assert khz == pytest.approx(3_000_000)
+        assert fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", 0.0) == "performance"
+        assert int(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq", 0.0)) == 3_000_000
+        assert int(fs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_min_freq", 0.0)) == 1_000_000
+        assert "performance" in fs.read(
+            "/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_governors", 0.0
+        )
+
+    def test_bad_paths(self, machine):
+        spec = simple_spec()
+        model = FrequencyModel(machine, spec)
+        plan = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(1).stream("f"))
+        fs = CpuFreqSysfs(spec, plan, "performance")
+        with pytest.raises(FrequencyError):
+            fs.read("/sys/nonsense", 0.0)
+        with pytest.raises(FrequencyError):
+            fs.read("/sys/devices/system/cpu/cpu999/cpufreq/scaling_cur_freq", 0.0)
+        with pytest.raises(FrequencyError):
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/energy_bias", 0.0)
+
+    def test_snapshot_khz(self, machine):
+        spec = simple_spec()
+        model = FrequencyModel(machine, spec)
+        plan = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(1).stream("f"))
+        fs = CpuFreqSysfs(spec, plan, "performance")
+        snap = fs.snapshot_khz(0.5)
+        assert snap.shape == (machine.n_cpus,)
+        assert snap.dtype == np.int64
+
+    def test_path_for(self, machine):
+        spec = simple_spec()
+        model = FrequencyModel(machine, spec)
+        plan = model.plan(0.0, 1.0, [0], PerformanceGovernor(), RngFactory(1).stream("f"))
+        fs = CpuFreqSysfs(spec, plan, "performance")
+        path = fs.path_for(3)
+        assert path == "/sys/devices/system/cpu/cpu3/cpufreq/scaling_cur_freq"
+        assert fs.read(path, 0.0)

@@ -1,0 +1,161 @@
+"""Tests for synchronization-construct cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.omp import SyncCostModel, SyncCostParams, Team
+from repro.omp.constructs import CONSTRUCT_PROFILES
+from repro.rng import RngFactory
+from repro.topology import dardel_topology, vera_topology, TopologyBuilder
+from repro.types import SyncConstruct
+
+
+@pytest.fixture
+def machine():
+    return TopologyBuilder("toy").add_sockets(2, 1, 4, smt=2).build()
+
+
+def team_on(machine, cpus, bound=True):
+    return Team(machine, tuple(cpus), bound=bound)
+
+
+class TestEffectiveLineLatency:
+    def test_single_numa_uses_local(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        team = team_on(machine, (0, 1, 2, 3))
+        assert model.effective_line_latency(team) == pytest.approx(
+            SyncCostParams().line_local
+        )
+
+    def test_cross_socket_raises_latency(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        near = team_on(machine, (0, 1, 2, 3))
+        far = team_on(machine, (0, 1, 4, 5))  # half the team on socket 1
+        assert model.effective_line_latency(far) > model.effective_line_latency(near)
+
+    def test_smt_team_pays_factor(self, machine):
+        params = SyncCostParams()
+        model = SyncCostModel(params)
+        st = team_on(machine, (0, 1))
+        mt = team_on(machine, (0, 8))  # core 0's two hw threads
+        assert model.effective_line_latency(mt) == pytest.approx(
+            model.effective_line_latency(st) * params.smt_sync_factor
+        )
+
+
+class TestBarrierAndFork:
+    def test_barrier_zero_for_one_thread(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        assert model.barrier_cost(team_on(machine, (0,))) == 0.0
+
+    def test_barrier_grows_log(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        t2 = model.barrier_cost(team_on(machine, (0, 1)))
+        t8 = model.barrier_cost(team_on(machine, tuple(range(8))))
+        assert t8 > t2
+
+    def test_fork_linear_in_threads(self):
+        m = dardel_topology()
+        model = SyncCostModel(SyncCostParams())
+        f32 = model.fork_cost(team_on(m, tuple(range(32))))
+        f128 = model.fork_cost(team_on(m, tuple(range(128))))
+        # fork_per_thread dominates at high counts -> roughly linear
+        assert f128 > 2.5 * f32
+
+    def test_fork_zero_for_one_thread(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        assert model.fork_cost(team_on(machine, (0,))) == 0.0
+
+
+class TestConstructCosts:
+    def test_all_constructs_have_profiles(self):
+        assert set(CONSTRUCT_PROFILES) == set(SyncConstruct)
+
+    def test_all_constructs_costed(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        team = team_on(machine, (0, 1, 2, 3))
+        for construct in SyncConstruct:
+            cost = model.construct_cost(construct, team)
+            assert cost > 0, construct
+
+    def test_reduction_most_expensive_parallel_construct(self):
+        """The paper: reduction is the most time-consuming sync construct."""
+        m = dardel_topology()
+        model = SyncCostModel(SyncCostParams())
+        team = team_on(m, tuple(range(128)))
+        red = model.construct_cost(SyncConstruct.REDUCTION, team)
+        for construct in (
+            SyncConstruct.PARALLEL,
+            SyncConstruct.FOR,
+            SyncConstruct.BARRIER,
+            SyncConstruct.SINGLE,
+            SyncConstruct.PARALLEL_FOR,
+        ):
+            assert red > model.construct_cost(construct, team)
+
+    def test_socket_crossing_jump(self):
+        """Figure 1: sharp cost increase when the team spans two sockets."""
+        m = vera_topology()
+        model = SyncCostModel(SyncCostParams())
+        one_socket = team_on(m, tuple(range(16)))
+        two_socket = team_on(m, tuple(range(30)))
+        r16 = model.construct_cost(SyncConstruct.REDUCTION, one_socket)
+        r30 = model.construct_cost(SyncConstruct.REDUCTION, two_socket)
+        assert r30 > 1.5 * r16
+
+    def test_serialized_constructs_flagged(self):
+        for c in (SyncConstruct.CRITICAL, SyncConstruct.LOCK_UNLOCK,
+                  SyncConstruct.ORDERED, SyncConstruct.ATOMIC):
+            assert CONSTRUCT_PROFILES[c].serialized
+
+    def test_fork_constructs_flagged(self):
+        for c in (SyncConstruct.PARALLEL, SyncConstruct.PARALLEL_FOR,
+                  SyncConstruct.REDUCTION):
+            assert CONSTRUCT_PROFILES[c].has_fork
+
+    def test_lock_handoff_grows_with_waiters(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        h2 = model.lock_handoff(team_on(machine, (0, 1)))
+        h8 = model.lock_handoff(team_on(machine, tuple(range(8))))
+        assert h8 > h2
+
+
+class TestJitter:
+    def test_sigma_grows_with_threads(self):
+        m = dardel_topology()
+        model = SyncCostModel(SyncCostParams())
+        s4 = model.jitter_sigma(team_on(m, tuple(range(4))))
+        s128 = model.jitter_sigma(team_on(m, tuple(range(128))))
+        assert s128 > s4
+
+    def test_mt_boosts_sigma(self):
+        """Figure 5e: MT teams are much noisier."""
+        m = dardel_topology()
+        model = SyncCostModel(SyncCostParams())
+        st_team = team_on(m, tuple(range(32)))  # 32 cores
+        mt_cpus = [c for core in range(16) for c in (core, core + 128)]
+        mt_team = team_on(m, tuple(mt_cpus))  # 16 cores, both siblings
+        assert model.jitter_sigma(mt_team) > model.jitter_sigma(st_team) + 0.1
+
+    def test_multiplier_mean_near_one(self, machine):
+        model = SyncCostModel(SyncCostParams())
+        team = team_on(machine, (0, 1, 2, 3))
+        rng = RngFactory(1).stream("jit")
+        samples = [model.sample_multiplier(team, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.05)
+        assert all(s > 0 for s in samples)
+
+
+class TestParamsValidation:
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SyncCostParams(line_local=100e-9, line_cross_numa=50e-9)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyncCostParams(fork_base=-1.0)
+
+    def test_smt_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyncCostParams(smt_sync_factor=0.5)

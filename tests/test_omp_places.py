@@ -1,0 +1,127 @@
+"""Tests for OMP_PLACES parsing and place construction."""
+
+import pytest
+
+from repro.errors import PlacesSyntaxError
+from repro.omp.places import Place, parse_places
+from repro.topology import TopologyBuilder, dardel_topology, vera_topology
+
+
+@pytest.fixture
+def machine():
+    # 2 sockets x 1 numa x 4 cores, SMT-2: cores c own cpus (c, c+8)
+    return TopologyBuilder("toy").add_sockets(2, 1, 4, smt=2).build()
+
+
+class TestAbstractNames:
+    def test_threads_topological_order(self, machine):
+        places = parse_places(machine, "threads")
+        assert len(places) == 16
+        # core-major: core0's both hw threads first
+        assert places[0].cpus == (0,)
+        assert places[1].cpus == (8,)
+        assert places[2].cpus == (1,)
+        assert places[3].cpus == (9,)
+
+    def test_cores(self, machine):
+        places = parse_places(machine, "cores")
+        assert len(places) == 8
+        assert places[0].cpus == (0, 8)
+        assert places[7].cpus == (7, 15)
+
+    def test_sockets(self, machine):
+        places = parse_places(machine, "sockets")
+        assert len(places) == 2
+        assert set(places[0].cpus) == {0, 1, 2, 3, 8, 9, 10, 11}
+
+    def test_numa_domains(self, machine):
+        places = parse_places(machine, "numa_domains")
+        assert len(places) == 2
+
+    def test_count_limit(self, machine):
+        places = parse_places(machine, "cores(3)")
+        assert len(places) == 3
+        assert places[2].cpus == (2, 10)
+
+    def test_count_too_large(self, machine):
+        with pytest.raises(PlacesSyntaxError):
+            parse_places(machine, "cores(9)")
+
+    def test_count_zero(self, machine):
+        with pytest.raises(PlacesSyntaxError):
+            parse_places(machine, "cores(0)")
+
+    def test_unknown_name(self, machine):
+        with pytest.raises(PlacesSyntaxError):
+            parse_places(machine, "hyperthreads")
+
+    def test_dardel_mt_packing_order(self):
+        """places=threads + close must pack SMT siblings (MT config)."""
+        m = dardel_topology()
+        places = parse_places(m, "threads")
+        assert places[0].cpus == (0,)
+        assert places[1].cpus == (128,)  # sibling of cpu 0 comes second
+        assert places[2].cpus == (1,)
+
+
+class TestExplicitLists:
+    def test_simple_sets(self, machine):
+        places = parse_places(machine, "{0,1},{2,3}")
+        assert [p.cpus for p in places] == [(0, 1), (2, 3)]
+
+    def test_ranges(self, machine):
+        places = parse_places(machine, "{0-3},{8-11}")
+        assert places[0].cpus == (0, 1, 2, 3)
+        assert places[1].cpus == (8, 9, 10, 11)
+
+    def test_interval_notation(self, machine):
+        places = parse_places(machine, "{0:4}")
+        assert places[0].cpus == (0, 1, 2, 3)
+
+    def test_interval_with_stride(self, machine):
+        places = parse_places(machine, "{0:2:8}")
+        assert places[0].cpus == (0, 8)  # a core's two hw threads
+
+    def test_place_replication(self, machine):
+        # 4 places of 2 cpus with stride 2: {0,1},{2,3},{4,5},{6,7}
+        places = parse_places(machine, "{0,1}:4:2")
+        assert [p.cpus for p in places] == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_place_replication_default_stride(self, machine):
+        places = parse_places(machine, "{0:2}:4")
+        assert [p.cpus for p in places] == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_vera_one_numa_vs_two(self):
+        """The Figure 6 place configurations."""
+        m = vera_topology()
+        one = parse_places(m, "{0:16}")
+        assert len(one) == 1 and m.numa_span(one[0].cpus) == 1
+        two = parse_places(m, "{0:8},{16:8}")
+        cpus = [c for p in two for c in p.cpus]
+        assert m.numa_span(cpus) == 2
+
+    def test_cpu_out_of_range(self, machine):
+        with pytest.raises(PlacesSyntaxError):
+            parse_places(machine, "{99}")
+
+    def test_syntax_errors(self, machine):
+        for bad in ("", "{}", "{0", "0}", "{0:0}", "{a}", "{0}:0", "{0-}", "{3-1}"):
+            with pytest.raises(PlacesSyntaxError):
+                parse_places(machine, bad)
+
+    def test_unbalanced_braces(self, machine):
+        with pytest.raises(PlacesSyntaxError):
+            parse_places(machine, "{0,{1}}")
+
+
+class TestPlace:
+    def test_place_invariants(self):
+        with pytest.raises(PlacesSyntaxError):
+            Place(())
+        with pytest.raises(PlacesSyntaxError):
+            Place((1, 1))
+
+    def test_contains_len(self):
+        p = Place((3, 4))
+        assert 3 in p and 5 not in p
+        assert len(p) == 2

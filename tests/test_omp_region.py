@@ -1,0 +1,191 @@
+"""Tests for the parallel-region executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.freq.dvfs import FrequencyModel
+from repro.freq.governor import PerformanceGovernor
+from repro.omp import NoiseMode, RegionExecutor, RegionParams, Team
+from repro.osnoise.model import NoiseModel, NoiseRealization, PlacedEvent
+from repro.osnoise.source import PoissonSource
+from repro.osnoise.placement import PinnedPlacement
+from repro.platform import toy
+from repro.rng import RngFactory
+from repro.sched.balancer import StackingEpisode
+from repro.units import ms, us
+
+
+@pytest.fixture
+def platform():
+    return toy()
+
+
+def make_executor(platform, busy_cpus, noise_events=(), horizon=10.0):
+    """Executor with a deterministic noise realization."""
+    model = FrequencyModel(platform.machine, platform.freq_spec)
+    plan = model.plan(0.0, horizon, busy_cpus, PerformanceGovernor(),
+                      RngFactory(1).stream("freq"))
+    noise = NoiseRealization(platform.machine, list(noise_events))
+    return RegionExecutor(plan, noise, platform.region_params), plan
+
+
+class TestPureCompute:
+    def test_duration_matches_frequency(self, platform):
+        # 2 active cores -> 3.0 GHz; calibration = 3.0 GHz -> work unchanged
+        ex, plan = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.asarray([ms(1), ms(1)]))
+        assert res.duration == pytest.approx(ms(1), rel=1e-6)
+
+    def test_boost_derates_many_cores(self, platform):
+        # 8 active cores -> 2.2 GHz vs calibration 3.0 GHz
+        cpus = list(range(8))
+        ex, plan = make_executor(platform, cpus)
+        team = Team(platform.machine, tuple(cpus), bound=True)
+        res = ex.execute(0.0, team, np.full(8, ms(1)))
+        assert res.duration == pytest.approx(ms(1) * 3.0 / 2.2, rel=1e-3)
+
+    def test_slowest_thread_dominates(self, platform):
+        ex, _ = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.asarray([ms(1), ms(3)]))
+        assert res.duration == pytest.approx(ms(3), rel=1e-6)
+
+    def test_zero_work(self, platform):
+        ex, _ = make_executor(platform, [0])
+        team = Team(platform.machine, (0,), bound=True)
+        res = ex.execute(5.0, team, np.asarray([0.0]))
+        assert res.duration == 0.0
+        assert res.start == 5.0
+
+    def test_work_shape_validated(self, platform):
+        ex, _ = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        with pytest.raises(SimulationError):
+            ex.execute(0.0, team, np.asarray([ms(1)]))
+
+
+class TestSMTSharing:
+    def test_mt_team_slower(self, platform):
+        m = platform.machine
+        st_team = Team(m, (0, 1), bound=True)
+        mt_team = Team(m, (0, 8), bound=True)  # same core
+        ex_st, _ = make_executor(platform, [0, 1])
+        ex_mt, _ = make_executor(platform, [0, 8])
+        work = np.full(2, ms(1))
+        d_st = ex_st.execute(0.0, st_team, work).duration
+        d_mt = ex_mt.execute(0.0, mt_team, work).duration
+        assert d_mt > d_st / platform.region_params.smt_efficiency * 0.9
+        assert d_mt > d_st
+
+
+class TestNoiseAggregation:
+    def make_noise(self, machine, events):
+        return NoiseRealization(machine, events)
+
+    def test_max_mode_single_thread_noise(self, platform):
+        m = platform.machine
+        events = [PlacedEvent(start=us(100), duration=us(200), kind="daemon", cpu=0)]
+        ex, _ = make_executor(platform, [0, 1], noise_events=events)
+        team = Team(m, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), noise_mode=NoiseMode.MAX)
+        assert res.duration == pytest.approx(ms(1) + us(200), rel=1e-3)
+
+    def test_max_mode_takes_worst_thread(self, platform):
+        m = platform.machine
+        events = [
+            PlacedEvent(us(10), us(100), "daemon", cpu=0),
+            PlacedEvent(us(10), us(300), "daemon", cpu=1),
+        ]
+        ex, _ = make_executor(platform, [0, 1], noise_events=events)
+        team = Team(m, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), noise_mode=NoiseMode.MAX)
+        assert res.duration == pytest.approx(ms(1) + us(300), rel=1e-3)
+
+    def test_sync_sum_adds_all(self, platform):
+        m = platform.machine
+        events = [
+            PlacedEvent(us(10), us(100), "daemon", cpu=0),
+            PlacedEvent(us(10), us(300), "daemon", cpu=1),
+        ]
+        ex, _ = make_executor(platform, [0, 1], noise_events=events)
+        team = Team(m, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), noise_mode=NoiseMode.SYNC_SUM)
+        kappa = platform.region_params.sync_noise_kappa
+        assert res.duration == pytest.approx(ms(1) + kappa * us(400), rel=1e-3)
+
+    def test_balanced_spreads_noise(self, platform):
+        m = platform.machine
+        events = [PlacedEvent(us(10), us(400), "daemon", cpu=0)]
+        ex, _ = make_executor(platform, [0, 1], noise_events=events)
+        team = Team(m, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), noise_mode=NoiseMode.BALANCED)
+        assert res.duration == pytest.approx(ms(1) + us(200), rel=1e-3)
+
+    def test_noise_outside_window_ignored(self, platform):
+        m = platform.machine
+        events = [PlacedEvent(start=5.0, duration=us(500), kind="daemon", cpu=0)]
+        ex, _ = make_executor(platform, [0], noise_events=events)
+        team = Team(m, (0,), bound=True)
+        res = ex.execute(0.0, team, np.asarray([ms(1)]))
+        assert res.duration == pytest.approx(ms(1), rel=1e-3)
+
+    def test_sibling_pressure_slows(self, platform):
+        m = platform.machine
+        # noise on cpu 8 = sibling of team thread on cpu 0
+        events = [PlacedEvent(us(10), us(400), "daemon", cpu=8)]
+        ex, _ = make_executor(platform, [0], noise_events=events)
+        team = Team(m, (0,), bound=True)
+        res = ex.execute(0.0, team, np.asarray([ms(1)]))
+        expected_extra = platform.region_params.smt_noise_penalty * us(400)
+        assert res.duration == pytest.approx(ms(1) + expected_extra, rel=1e-2)
+
+
+class TestSchedulerArtifacts:
+    def test_wake_delays_shift_arrival(self, platform):
+        ex, _ = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        res = ex.execute(
+            0.0, team, np.full(2, ms(1)), wake_delays=np.asarray([0.0, us(500)])
+        )
+        assert res.duration == pytest.approx(ms(1) + us(500), rel=1e-3)
+
+    def test_stacking_episode_slows_thread(self, platform):
+        ex, _ = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        ep = StackingEpisode(thread=1, start=0.0, duration=ms(10), share=0.5)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), stacking_episodes=(ep,))
+        # thread 1 runs at half speed for its whole 1 ms of work
+        assert res.duration > ms(1.8)
+        assert res.stacking_seconds > 0
+
+    def test_queue_floor_binds(self, platform):
+        ex, _ = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), queue_floor=ms(5))
+        assert res.duration == pytest.approx(ms(5), rel=1e-6)
+
+    def test_barrier_cost_added(self, platform):
+        ex, _ = make_executor(platform, [0, 1])
+        team = Team(platform.machine, (0, 1), bound=True)
+        res = ex.execute(0.0, team, np.full(2, ms(1)), barrier_cost=us(5))
+        assert res.duration == pytest.approx(ms(1) + us(5), rel=1e-3)
+
+    def test_sync_overhead_frequency_scaled(self, platform):
+        # 8 active cores -> 2.2 GHz vs 3.0 GHz calibration
+        cpus = list(range(8))
+        ex, _ = make_executor(platform, cpus)
+        team = Team(platform.machine, tuple(cpus), bound=True)
+        res = ex.execute(0.0, team, np.zeros(8), sync_overhead=ms(1))
+        assert res.duration == pytest.approx(ms(1) * 3.0 / 2.2, rel=1e-3)
+
+
+class TestRegionParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegionParams(smt_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            RegionParams(smt_noise_penalty=1.5)
+        with pytest.raises(ConfigurationError):
+            RegionParams(sync_noise_kappa=-0.1)

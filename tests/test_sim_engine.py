@@ -1,0 +1,180 @@
+"""Tests for the discrete-event kernel (clock, engine, processes)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Clock, Engine, Timeout
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_advance_to(self):
+        c = Clock()
+        c.advance_to(1.5)
+        assert c.now == 1.5
+
+    def test_advance_by(self):
+        c = Clock(1.0)
+        c.advance_by(0.25)
+        assert c.now == 1.25
+
+    def test_no_time_travel(self):
+        c = Clock(2.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(1.0)
+        with pytest.raises(SimulationError):
+            c.advance_by(-0.1)
+
+
+class TestEngineScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(3.0, lambda: seen.append(3))
+        eng.schedule_at(1.0, lambda: seen.append(1))
+        eng.schedule_at(2.0, lambda: seen.append(2))
+        eng.run()
+        assert seen == [1, 2, 3]
+
+    def test_fifo_for_simultaneous_events(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.schedule_at(1.0, lambda i=i: seen.append(i))
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_schedule_after(self):
+        eng = Engine()
+        eng.clock.advance_to(10.0)
+        times = []
+        eng.schedule_after(0.5, lambda: times.append(eng.clock.now))
+        eng.run()
+        assert times == [10.5]
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.clock.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            eng.schedule_at(4.0, lambda: None)
+        with pytest.raises(SimulationError):
+            eng.schedule_after(-1.0, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        seen = []
+        ev = eng.schedule_at(1.0, lambda: seen.append("a"))
+        eng.schedule_at(2.0, lambda: seen.append("b"))
+        ev.cancel()
+        eng.run()
+        assert seen == ["b"]
+
+    def test_run_until_leaves_future_events(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(1.0, lambda: seen.append(1))
+        eng.schedule_at(5.0, lambda: seen.append(5))
+        eng.run(until=2.0)
+        assert seen == [1]
+        assert eng.clock.now == 2.0
+        assert eng.pending == 1
+        eng.run()
+        assert seen == [1, 5]
+
+    def test_events_scheduled_during_run(self):
+        eng = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            eng.schedule_after(1.0, lambda: seen.append("second"))
+
+        eng.schedule_at(0.5, first)
+        eng.run()
+        assert seen == ["first", "second"]
+        assert eng.clock.now == 1.5
+
+    def test_event_budget(self):
+        eng = Engine()
+
+        def rearm():
+            eng.schedule_after(1.0, rearm)
+
+        eng.schedule_at(0.0, rearm)
+        with pytest.raises(SimulationError, match="budget"):
+            eng.run(max_events=100)
+
+    def test_events_executed_counter(self):
+        eng = Engine()
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule_at(t, lambda: None)
+        eng.run()
+        assert eng.events_executed == 3
+
+
+class TestProcesses:
+    def test_periodic_process(self):
+        eng = Engine()
+        samples = []
+
+        def sampler():
+            for _ in range(4):
+                samples.append(eng.clock.now)
+                yield Timeout(0.25)
+
+        eng.spawn(sampler(), name="sampler")
+        eng.run()
+        assert samples == [0.0, 0.25, 0.5, 0.75]
+
+    def test_process_return_value(self):
+        eng = Engine()
+
+        def worker():
+            yield Timeout(1.0)
+            return 42
+
+        proc = eng.spawn(worker())
+        eng.run()
+        assert not proc.alive
+        assert proc.result == 42
+
+    def test_kill_stops_process(self):
+        eng = Engine()
+        ticks = []
+
+        def ticker():
+            while True:
+                ticks.append(eng.clock.now)
+                yield Timeout(1.0)
+
+        proc = eng.spawn(ticker())
+        eng.run(until=2.5)
+        proc.kill()
+        eng.run(until=10.0)
+        assert len(ticks) == 3  # t=0,1,2 then killed
+        assert not proc.alive
+
+    def test_negative_timeout_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield Timeout(-1.0)
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_bad_yield_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield "nonsense"
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()

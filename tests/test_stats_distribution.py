@@ -1,0 +1,118 @@
+"""Tests for distribution characterization (repro.stats.distribution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.stats import (
+    bimodality_coefficient,
+    fit_lognormal,
+    is_bimodal,
+    lognormal_ks,
+    tail_fraction,
+)
+
+
+class TestLognormalFit:
+    def test_constant_sample(self):
+        fit = fit_lognormal([2.0, 2.0, 2.0])
+        assert fit.median == pytest.approx(2.0)
+        assert fit.sigma == 0.0
+        assert fit.mean == pytest.approx(2.0)
+
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(1)
+        x = rng.lognormal(mean=1.0, sigma=0.3, size=5000)
+        fit = fit_lognormal(x)
+        assert fit.mu == pytest.approx(1.0, abs=0.02)
+        assert fit.sigma == pytest.approx(0.3, abs=0.02)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            fit_lognormal([1.0, 0.0])
+
+    def test_mean_exceeds_median(self):
+        rng = np.random.default_rng(2)
+        fit = fit_lognormal(rng.lognormal(0.0, 0.8, 1000))
+        assert fit.mean > fit.median
+
+
+class TestLognormalKS:
+    def test_lognormal_sample_passes(self):
+        rng = np.random.default_rng(3)
+        x = rng.lognormal(0.0, 0.4, 400)
+        _, p = lognormal_ks(x)
+        assert p > 0.05
+
+    def test_bimodal_sample_fails(self):
+        rng = np.random.default_rng(4)
+        x = np.concatenate([
+            rng.lognormal(0.0, 0.05, 300),
+            rng.lognormal(4.0, 0.05, 150),
+        ])
+        _, p = lognormal_ks(x)
+        assert p < 1e-6
+
+    def test_constant_sample_trivially_consistent(self):
+        stat, p = lognormal_ks(np.full(20, 3.0))
+        assert stat == 0.0 and p == 1.0
+
+
+class TestBimodality:
+    def test_normal_sample_unimodal(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(10, 1, 1000)
+        assert not is_bimodal(x)
+
+    def test_two_modes_detected(self):
+        rng = np.random.default_rng(6)
+        x = np.concatenate([rng.normal(1, 0.05, 500), rng.normal(9, 0.05, 500)])
+        assert is_bimodal(x)
+        assert bimodality_coefficient(x) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bimodality_coefficient([1.0, 2.0])
+
+
+class TestTailFraction:
+    def test_clean_sample_no_tail(self):
+        assert tail_fraction(np.full(50, 1.0) + np.linspace(0, 0.01, 50)) == 0.0
+
+    def test_disturbed_fraction_measured(self):
+        x = np.concatenate([np.full(80, 1.0), np.full(20, 10.0)])
+        assert tail_fraction(x, k=2.0) == pytest.approx(0.2)
+
+    def test_k_validation(self):
+        with pytest.raises(ReproError):
+            tail_fraction([1.0, 2.0, 3.0, 4.0], k=1.0)
+
+
+class TestOnSimulatorOutput:
+    """Characterize actual benchmark output: pinned ~ log-normal,
+    unpinned ~ heavy-tailed/bimodal (the Figure 4b distinction)."""
+
+    @pytest.fixture(scope="class")
+    def matrices(self):
+        from repro.harness import ExperimentConfig, Runner
+
+        out = {}
+        for bind in ("close", "false"):
+            cfg = ExperimentConfig(
+                platform="dardel", benchmark="syncbench", num_threads=128,
+                places="cores" if bind == "close" else None, proc_bind=bind,
+                runs=2, seed=66,
+                benchmark_params={"outer_reps": 40, "constructs": ("reduction",)},
+            )
+            out[bind] = Runner(cfg).run().runs_matrix("reduction").ravel()
+        return out
+
+    def test_unpinned_has_heavier_tail(self, matrices):
+        assert tail_fraction(matrices["false"], k=3.0) > tail_fraction(
+            matrices["close"], k=3.0
+        )
+
+    def test_unpinned_larger_bimodality(self, matrices):
+        assert bimodality_coefficient(matrices["false"]) > bimodality_coefficient(
+            matrices["close"]
+        )
