@@ -6,6 +6,15 @@ paper's qualitative shape.  By default the drivers run at a reduced scale
 so the whole harness finishes in a few minutes; set ``REPRO_BENCH_SCALE=full``
 to run at the paper's scale (10 runs x 100 repetitions — expect tens of
 minutes).
+
+The drivers are invoked through the parallel execution path
+(:mod:`repro.harness.parallel`), which is bit-identical to serial
+execution for any job count:
+
+* ``REPRO_BENCH_JOBS=N`` fans each driver's runs over N worker processes
+  (``0`` = all cores; unset/1 = serial);
+* ``REPRO_BENCH_CACHE_DIR=DIR`` caches finished results on disk so a
+  repeated harness invocation replays them instead of re-simulating.
 """
 
 import os
@@ -15,6 +24,20 @@ import pytest
 
 def _full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+def _execution_kwargs() -> dict:
+    """jobs/cache driver kwargs from the environment (see module docstring)."""
+    kwargs: dict = {}
+    jobs = os.environ.get("REPRO_BENCH_JOBS", "")
+    if jobs:
+        kwargs["jobs"] = int(jobs)
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+    if cache_dir:
+        from repro.harness.cache import ResultCache
+
+        kwargs["cache"] = ResultCache(cache_dir)
+    return kwargs
 
 
 @pytest.fixture(scope="session")
@@ -31,5 +54,10 @@ def seed():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment driver exactly once under pytest-benchmark."""
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Injects the environment-selected parallelism/caching kwargs; explicit
+    kwargs from the bench file win.
+    """
+    kwargs = {**_execution_kwargs(), **kwargs}
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

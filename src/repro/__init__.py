@@ -33,6 +33,9 @@ _LAZY_ATTRS = {
     "OpenMPRuntime": ("repro.omp", "OpenMPRuntime"),
     "ExperimentConfig": ("repro.harness", "ExperimentConfig"),
     "Runner": ("repro.harness", "Runner"),
+    "ParallelRunner": ("repro.harness", "ParallelRunner"),
+    "Sweep": ("repro.harness", "Sweep"),
+    "ResultCache": ("repro.harness", "ResultCache"),
     "experiments": ("repro.harness", "experiments"),
     "SMTMode": ("repro.types", "SMTMode"),
     "ProcBind": ("repro.types", "ProcBind"),

@@ -10,6 +10,11 @@ Regenerate a paper artifact (quick scale)::
 
     repro-omp experiment table2 --runs 5 --reps 30 --seed 1
 
+Regenerate at full scale on every core, caching results on disk so a
+re-invocation replays instead of re-simulating (see docs/parallel.md)::
+
+    repro-omp experiment figure3 --jobs 0 --cache-dir ~/.cache/repro-omp
+
 Run a custom configuration and save the raw result::
 
     repro-omp run --platform dardel --benchmark syncbench --threads 128 \
@@ -27,10 +32,33 @@ import sys
 
 from repro.bench.registry import available_benchmarks
 from repro.errors import ReproError
+from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiments import ALL_EXPERIMENTS
-from repro.harness.runner import Runner
+from repro.harness.parallel import ParallelRunner
 from repro.platform import available_platforms, get_platform
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """--jobs / --cache-dir / --no-cache, shared by experiment and run."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the run fan-out (0 = all cores; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache results on disk under DIR and replay them on re-invocation",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir: neither read nor write cached results",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> ResultCache | None:
+    if args.cache_dir is None or args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--reps", type=int, default=None,
                        help="outer repetitions / stream iterations")
     p_exp.add_argument("--seed", type=int, default=42)
+    _add_execution_flags(p_exp)
 
     p_run = sub.add_parser("run", help="run one custom configuration")
     p_run.add_argument("--platform", choices=available_platforms(), default="vera")
@@ -71,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--freq-log", action="store_true")
     p_run.add_argument("--out", default=None, help="save result JSON here")
+    _add_execution_flags(p_run)
     return parser
 
 
@@ -86,9 +116,14 @@ def _cmd_platform(name: str) -> int:
     return 0
 
 
-def _cmd_experiment(name: str, runs: int | None, reps: int | None, seed: int) -> int:
+def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
     driver = ALL_EXPERIMENTS[name]
-    kwargs: dict = {"seed": seed}
+    kwargs: dict = {
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "cache": _make_cache(args),
+    }
+    runs, reps = args.runs, args.reps
     if runs is not None:
         kwargs["runs"] = runs
     if reps is not None:
@@ -124,7 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         benchmark_params=params,
         freq_logging=args.freq_log,
     )
-    result = Runner(config).run()
+    result = ParallelRunner(config, jobs=args.jobs, cache=_make_cache(args)).run()
     for label, report in result.reports().items():
         print(report.render())
         print()
@@ -142,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "platform":
             return _cmd_platform(args.name)
         if args.command == "experiment":
-            return _cmd_experiment(args.name, args.runs, args.reps, args.seed)
+            return _cmd_experiment(args.name, args)
         if args.command == "run":
             return _cmd_run(args)
     except ReproError as exc:

@@ -6,6 +6,11 @@ Turns configurations into results:
   configuration (platform, threads, binding, repetitions, seed);
 * :class:`~repro.harness.runner.Runner` — executes N independent runs,
   optionally with the frequency logger on a spare core;
+* :class:`~repro.harness.parallel.ParallelRunner` /
+  :class:`~repro.harness.parallel.Sweep` — fan runs (of one or many
+  configs) out over a process pool, bit-identical to serial execution;
+* :class:`~repro.harness.cache.ResultCache` — on-disk result cache keyed
+  by config + seed + code version;
 * :mod:`repro.harness.results` — result containers with JSON round-trip;
 * :mod:`repro.harness.freqlogger` — the simulated background frequency
   logger (a :mod:`repro.sim` process sampling the simulated sysfs);
@@ -13,8 +18,10 @@ Turns configurations into results:
 * :mod:`repro.harness.experiments` — one driver per paper table/figure.
 """
 
+from repro.harness.cache import ResultCache, cache_key
 from repro.harness.config import ExperimentConfig
 from repro.harness.freqlogger import FrequencyLog, FrequencyLogger
+from repro.harness.parallel import ParallelRunner, Sweep
 from repro.harness.results import ExperimentResult, RunRecord
 from repro.harness.runner import Runner
 from repro.harness import experiments
@@ -23,6 +30,10 @@ from repro.harness import report
 __all__ = [
     "ExperimentConfig",
     "Runner",
+    "ParallelRunner",
+    "Sweep",
+    "ResultCache",
+    "cache_key",
     "RunRecord",
     "ExperimentResult",
     "FrequencyLogger",

@@ -1,0 +1,136 @@
+"""On-disk experiment result cache.
+
+Every run of the simulator is a pure function of its
+:class:`~repro.harness.config.ExperimentConfig` (the master seed is part of
+the config), so a finished :class:`~repro.harness.results.ExperimentResult`
+can be stored on disk and replayed instead of re-simulated.  The cache key
+is a SHA-256 hash over three components:
+
+* the canonical JSON encoding of ``config.to_dict()`` (which includes the
+  master ``seed``),
+* the library version (``repro.__version__``) — bumping the version
+  invalidates every cached entry, so model changes never replay stale
+  results,
+* a cache schema version (:data:`CACHE_SCHEMA_VERSION`) — bumped whenever
+  the on-disk layout itself changes.
+
+Entries are single JSON files named ``<key>.json`` produced by
+:meth:`ExperimentResult.to_dict`, written atomically (temp file +
+``os.replace``) so a crashed writer never leaves a truncated entry behind.
+Corrupt or unreadable entries are treated as misses and deleted.
+
+The cache keeps ``hits`` / ``misses`` / ``stores`` counters so callers (and
+tests) can assert that a warmed cache performs zero new simulation runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro import __version__ as _code_version
+from repro.errors import HarnessError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.results import ExperimentResult
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "cache_key"]
+
+#: Bump when the on-disk entry layout changes (invalidates all entries).
+CACHE_SCHEMA_VERSION = 1
+
+
+def cache_key(config: "ExperimentConfig") -> str:
+    """Stable hex digest identifying *config* under the current code version.
+
+    Two configs with equal ``to_dict()`` payloads share a key; any change to
+    the config (including the master seed) or to the library version yields
+    a different key.
+    """
+    payload = {
+        "config": config.to_dict(),
+        "code_version": _code_version,
+        "cache_schema": CACHE_SCHEMA_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed cache of :class:`ExperimentResult` JSON blobs.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries; created (with parents) if missing.
+    """
+
+    def __init__(self, cache_dir: str | Path):
+        self.cache_dir = Path(cache_dir)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise HarnessError(f"cannot create cache dir {cache_dir}: {exc}") from exc
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- key/path ---------------------------------------------------------------
+
+    def path_for(self, config: "ExperimentConfig") -> Path:
+        return self.cache_dir / f"{cache_key(config)}.json"
+
+    # -- lookup/store -----------------------------------------------------------
+
+    def get(self, config: "ExperimentConfig") -> "ExperimentResult | None":
+        """Return the cached result for *config*, or ``None`` on a miss.
+
+        A corrupt entry (unparseable JSON, wrong shape) counts as a miss and
+        is removed so the next :meth:`put` can rewrite it cleanly.
+        """
+        from repro.harness.results import ExperimentResult
+
+        path = self.path_for(config)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = ExperimentResult.load(path)
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: "ExperimentResult") -> Path:
+        """Store *result* atomically; returns the entry path."""
+        path = self.path_for(result.config)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(result.to_dict()))
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    # -- maintenance --------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.cache_dir.glob("*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.cache_dir)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -6,6 +6,19 @@ and returns an :class:`ExperimentArtifact` carrying both structured data
 "figure").  Default arguments are the paper's scale (10 runs x 100
 repetitions); tests and the pytest-benchmark harness pass reduced values.
 
+Every driver accepts two execution knobs:
+
+``jobs``
+    Worker processes for the run fan-out (default ``1`` = serial, the
+    historical behavior; ``0``/``None`` = every core).  Each driver builds
+    *all* of its configs up front and schedules them through one shared
+    :class:`~repro.harness.parallel.Sweep`, so the runs of short configs
+    interleave with long ones instead of serializing behind them.  Results
+    are bit-identical to serial execution for any ``jobs``.
+``cache``
+    Optional :class:`~repro.harness.cache.ResultCache`; configs already in
+    the cache are replayed from disk without any simulation.
+
 Index (see DESIGN.md section 4):
 
 ========  ==================================================================
@@ -27,10 +40,11 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
+from repro.harness.parallel import Sweep
 from repro.harness.report import render_series, render_table
 from repro.harness.results import ExperimentResult
-from repro.harness.runner import Runner
 from repro.stats.descriptive import summarize
 from repro.types import StreamKernel, SyncConstruct
 from repro.units import to_ms, to_us
@@ -53,8 +67,13 @@ class ExperimentArtifact:
         return "\n".join(parts)
 
 
-def _run(config: ExperimentConfig) -> ExperimentResult:
-    return Runner(config).run()
+def _run_batch(
+    configs: Sequence[ExperimentConfig],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[ExperimentResult]:
+    """Execute *configs* through one shared sweep; results in input order."""
+    return Sweep(jobs=jobs, cache=cache).run(configs)
 
 
 # ---------------------------------------------------------------------------
@@ -62,7 +81,11 @@ def _run(config: ExperimentConfig) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def table2(
-    runs: int = 10, outer_reps: int = 100, seed: int = 42
+    runs: int = 10,
+    outer_reps: int = 100,
+    seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Table 2: higher execution time (us) for schedbench ``dynamic_1``."""
     columns = [
@@ -71,9 +94,8 @@ def table2(
         ("vera", 4, "cores"),
         ("vera", 30, "cores"),
     ]
-    per_column_means: dict[str, np.ndarray] = {}
-    for platform, threads, places in columns:
-        cfg = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             platform=platform,
             benchmark="schedbench",
             num_threads=threads,
@@ -85,7 +107,12 @@ def table2(
             seed=seed,
             benchmark_params={"outer_reps": outer_reps},
         )
-        result = _run(cfg)
+        for platform, threads, places in columns
+    ]
+    results = _run_batch(configs, jobs, cache)
+
+    per_column_means: dict[str, np.ndarray] = {}
+    for (platform, threads, _places), result in zip(columns, results):
         matrix = result.runs_matrix("dynamic_1")
         per_column_means[f"{platform}@{threads}"] = matrix.mean(axis=1)
 
@@ -125,27 +152,38 @@ def figure1(
     seed: int = 42,
     dardel_threads: Sequence[int] = _DARDEL_THREADS,
     vera_threads: Sequence[int] = _VERA_THREADS,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 1: syncbench (reduction) time vs HW thread count."""
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    combos = [
+        (platform, threads) for platform, sweep in sweeps for threads in sweep
+    ]
+    configs = [
+        ExperimentConfig(
+            platform=platform,
+            benchmark="syncbench",
+            num_threads=threads,
+            places=_thread_places(platform, threads),
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            benchmark_params={
+                "outer_reps": outer_reps,
+                "constructs": (SyncConstruct.REDUCTION.value,),
+            },
+        )
+        for platform, threads in combos
+    ]
+    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+
     sections = []
     data: dict[str, Any] = {}
-    for platform, sweep in (("dardel", dardel_threads), ("vera", vera_threads)):
+    for platform, sweep in sweeps:
         xs, ys = [], []
         for threads in sweep:
-            cfg = ExperimentConfig(
-                platform=platform,
-                benchmark="syncbench",
-                num_threads=threads,
-                places=_thread_places(platform, threads),
-                proc_bind="close",
-                runs=runs,
-                seed=seed,
-                benchmark_params={
-                    "outer_reps": outer_reps,
-                    "constructs": (SyncConstruct.REDUCTION.value,),
-                },
-            )
-            result = _run(cfg)
+            result = by_combo[(platform, threads)]
             # EPCC reports the per-construct overhead; that is what grows
             # with thread count (raw test times are held near the target
             # test time by the inner-repetition doubling)
@@ -177,24 +215,35 @@ def figure2(
     seed: int = 42,
     dardel_threads: Sequence[int] = (2, 4, 8, 16, 32, 64, 128, 254),
     vera_threads: Sequence[int] = _VERA_THREADS,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 2: BabelStream kernel time (ms) vs HW thread count."""
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    combos = [
+        (platform, threads) for platform, sweep in sweeps for threads in sweep
+    ]
+    configs = [
+        ExperimentConfig(
+            platform=platform,
+            benchmark="babelstream",
+            num_threads=threads,
+            places=_thread_places(platform, threads),
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            benchmark_params={"num_times": num_times},
+        )
+        for platform, threads in combos
+    ]
+    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+
     sections = []
     data: dict[str, Any] = {}
-    for platform, sweep in (("dardel", dardel_threads), ("vera", vera_threads)):
+    for platform, sweep in sweeps:
         per_kernel: dict[str, list[float]] = {k.value: [] for k in StreamKernel}
         for threads in sweep:
-            cfg = ExperimentConfig(
-                platform=platform,
-                benchmark="babelstream",
-                num_threads=threads,
-                places=_thread_places(platform, threads),
-                proc_bind="close",
-                runs=runs,
-                seed=seed,
-                benchmark_params={"num_times": num_times},
-            )
-            result = _run(cfg)
+            result = by_combo[(platform, threads)]
             for kernel in StreamKernel:
                 matrix = result.runs_matrix(kernel.value)
                 per_kernel[kernel.value].append(to_ms(float(matrix.mean())))
@@ -223,6 +272,8 @@ def figure3(
     seed: int = 42,
     dardel_threads: Sequence[int] = (4, 16, 64, 128, 254),
     vera_threads: Sequence[int] = (2, 8, 16, 30),
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 3: normalized min/max per run vs thread count, 6 panels."""
     panels: list[tuple[str, str]] = []
@@ -236,33 +287,51 @@ def figure3(
             maxs.append(s.norm_max)
         return mins, maxs
 
-    for platform, sweep in (("dardel", dardel_threads), ("vera", vera_threads)):
-        for bench, label, params in (
-            ("schedbench", "dynamic_1", {"outer_reps": outer_reps}),
-            (
-                "syncbench",
-                SyncConstruct.REDUCTION.value,
-                {"outer_reps": outer_reps,
-                 "constructs": (SyncConstruct.REDUCTION.value,)},
-            ),
-            ("babelstream", StreamKernel.TRIAD.value, {"num_times": num_times}),
-        ):
+    benches = (
+        ("schedbench", "dynamic_1", {"outer_reps": outer_reps}),
+        (
+            "syncbench",
+            SyncConstruct.REDUCTION.value,
+            {"outer_reps": outer_reps,
+             "constructs": (SyncConstruct.REDUCTION.value,)},
+        ),
+        ("babelstream", StreamKernel.TRIAD.value, {"num_times": num_times}),
+    )
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    combos = [
+        (platform, bench, threads, params)
+        for platform, sweep in sweeps
+        for bench, _label, params in benches
+        for threads in sweep
+    ]
+    configs = [
+        ExperimentConfig(
+            platform=platform,
+            benchmark=bench,
+            num_threads=threads,
+            places=_thread_places(platform, threads),
+            proc_bind="close",
+            schedule="dynamic",
+            schedule_chunk=1,
+            runs=runs,
+            seed=seed,
+            benchmark_params=params,
+        )
+        for platform, bench, threads, params in combos
+    ]
+    by_combo = dict(
+        zip(
+            [(p, b, t) for p, b, t, _ in combos],
+            _run_batch(configs, jobs, cache),
+        )
+    )
+
+    for platform, sweep in sweeps:
+        for bench, label, _params in benches:
             worst_max, best_min, xs = [], [], []
             panel_data = {}
             for threads in sweep:
-                cfg = ExperimentConfig(
-                    platform=platform,
-                    benchmark=bench,
-                    num_threads=threads,
-                    places=_thread_places(platform, threads),
-                    proc_bind="close",
-                    schedule="dynamic",
-                    schedule_chunk=1,
-                    runs=runs,
-                    seed=seed,
-                    benchmark_params=params,
-                )
-                matrix = _run(cfg).runs_matrix(label)
+                matrix = by_combo[(platform, bench, threads)].runs_matrix(label)
                 mins, maxs = norm_rows(matrix)
                 xs.append(threads)
                 best_min.append(min(mins))
@@ -294,6 +363,8 @@ def figure4(
     outer_reps: int = 100,
     num_times: int = 100,
     seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 4: before/after pinning on Dardel."""
     cases = (
@@ -307,24 +378,40 @@ def figure4(
         ),
         ("babelstream", 128, StreamKernel.TRIAD.value, {"num_times": num_times}),
     )
+    bindings = (("unpinned", "false"), ("pinned", "close"))
+    combos = [
+        (bench, threads, label, params, bound, bind)
+        for bench, threads, label, params in cases
+        for bound, bind in bindings
+    ]
+    configs = [
+        ExperimentConfig(
+            platform="dardel",
+            benchmark=bench,
+            num_threads=threads,
+            places="cores" if bind != "false" else None,
+            proc_bind=bind,
+            schedule="dynamic",
+            schedule_chunk=1,
+            runs=runs,
+            seed=seed,
+            benchmark_params=params,
+        )
+        for bench, threads, _label, params, _bound, bind in combos
+    ]
+    by_combo = dict(
+        zip(
+            [(bench, threads, bound) for bench, threads, _l, _p, bound, _b in combos],
+            _run_batch(configs, jobs, cache),
+        )
+    )
+
     sections = []
     data: dict[str, Any] = {}
-    for bench, threads, label, params in cases:
+    for bench, threads, label, _params in cases:
         entry: dict[str, Any] = {}
-        for bound, bind in (("unpinned", "false"), ("pinned", "close")):
-            cfg = ExperimentConfig(
-                platform="dardel",
-                benchmark=bench,
-                num_threads=threads,
-                places="cores" if bind != "false" else None,
-                proc_bind=bind,
-                schedule="dynamic",
-                schedule_chunk=1,
-                runs=runs,
-                seed=seed,
-                benchmark_params=params,
-            )
-            matrix = _run(cfg).runs_matrix(label)
+        for bound, _bind in bindings:
+            matrix = by_combo[(bench, threads, bound)].runs_matrix(label)
             stats = [summarize(row) for row in matrix]
             entry[bound] = {
                 "run_means": [s.mean for s in stats],
@@ -370,27 +457,54 @@ def figure5(
     outer_reps: int = 100,
     num_times: int = 100,
     seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 5: ST vs MT at equal thread counts on Dardel."""
+    modes = (("ST", "cores"), ("MT", "threads"))
+    constructs = tuple(c.value for c in SyncConstruct)
+
+    def _cfg(benchmark: str, threads: int, places: str, **kw) -> ExperimentConfig:
+        return ExperimentConfig(
+            platform="dardel",
+            benchmark=benchmark,
+            num_threads=threads,
+            places=places,
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            **kw,
+        )
+
+    blocks = (
+        ("schedbench@128", "schedbench", 128,
+         {"schedule": "dynamic", "schedule_chunk": 1,
+          "benchmark_params": {"outer_reps": outer_reps}}),
+        ("syncbench@32", "syncbench", 32,
+         {"benchmark_params": {"outer_reps": outer_reps,
+                               "constructs": constructs}}),
+        ("babelstream@128", "babelstream", 128,
+         {"benchmark_params": {"num_times": num_times}}),
+    )
+    specs: list[tuple[str, str, ExperimentConfig]] = [
+        (block, mode, _cfg(bench, threads, places, **extra))
+        for block, bench, threads, extra in blocks
+        for mode, places in modes
+    ]
+    by_spec = dict(
+        zip(
+            [(block, mode) for block, mode, _cfgv in specs],
+            _run_batch([cfgv for _block, _mode, cfgv in specs], jobs, cache),
+        )
+    )
+
     sections = []
     data: dict[str, Any] = {}
 
     # schedbench at 128 threads: ST = 128 cores, MT = 64 cores x 2 siblings
     sched_entry = {}
-    for mode, places in (("ST", "cores"), ("MT", "threads")):
-        cfg = ExperimentConfig(
-            platform="dardel",
-            benchmark="schedbench",
-            num_threads=128,
-            places=places,
-            proc_bind="close",
-            schedule="dynamic",
-            schedule_chunk=1,
-            runs=runs,
-            seed=seed,
-            benchmark_params={"outer_reps": outer_reps},
-        )
-        matrix = _run(cfg).runs_matrix("dynamic_1")
+    for mode, _places in modes:
+        matrix = by_spec[("schedbench@128", mode)].runs_matrix("dynamic_1")
         stats = [summarize(row) for row in matrix]
         sched_entry[mode] = {
             "run_cv": [s.cv for s in stats],
@@ -416,19 +530,8 @@ def figure5(
 
     # syncbench at 32 threads: CV per construct
     sync_entry: dict[str, Any] = {}
-    constructs = tuple(c.value for c in SyncConstruct)
-    for mode, places in (("ST", "cores"), ("MT", "threads")):
-        cfg = ExperimentConfig(
-            platform="dardel",
-            benchmark="syncbench",
-            num_threads=32,
-            places=places,
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            benchmark_params={"outer_reps": outer_reps, "constructs": constructs},
-        )
-        result = _run(cfg)
+    for mode, _places in modes:
+        result = by_spec[("syncbench@32", mode)]
         sync_entry[mode] = {
             c: [summarize(row).cv for row in result.runs_matrix(c)]
             for c in constructs
@@ -452,18 +555,8 @@ def figure5(
 
     # babelstream at 128 threads
     stream_entry: dict[str, Any] = {}
-    for mode, places in (("ST", "cores"), ("MT", "threads")):
-        cfg = ExperimentConfig(
-            platform="dardel",
-            benchmark="babelstream",
-            num_threads=128,
-            places=places,
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            benchmark_params={"num_times": num_times},
-        )
-        result = _run(cfg)
+    for mode, _places in modes:
+        result = by_spec[("babelstream@128", mode)]
         stream_entry[mode] = {
             k.value: [summarize(row).norm_max for row in result.runs_matrix(k.value)]
             for k in StreamKernel
@@ -501,14 +594,15 @@ def _vera_numa_experiment(
     params: dict,
     runs: int,
     seed: int,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> tuple[tuple[tuple[str, str], ...], dict[str, Any]]:
-    sections = []
-    data: dict[str, Any] = {}
-    for name, places in (
+    placements = (
         ("one-numa (cpus 0-15)", "{0:16}"),
         ("two-numa (cpus 0-7,16-23)", "{0:8},{16:8}"),
-    ):
-        cfg = ExperimentConfig(
+    )
+    configs = [
+        ExperimentConfig(
             platform="vera",
             benchmark=benchmark,
             num_threads=16,
@@ -522,7 +616,13 @@ def _vera_numa_experiment(
             freq_logging=True,
             logger_cpu=31,  # a spare core on the second socket
         )
-        result = _run(cfg)
+        for _name, places in placements
+    ]
+    results = _run_batch(configs, jobs, cache)
+
+    sections = []
+    data: dict[str, Any] = {}
+    for (name, _places), result in zip(placements, results):
         matrix = result.runs_matrix(label)
         stats = [summarize(row) for row in matrix]
         logs = [rec.freq_log for rec in result.records if rec.freq_log is not None]
@@ -556,7 +656,11 @@ def _vera_numa_experiment(
 
 
 def figure6(
-    runs: int = 10, outer_reps: int = 100, seed: int = 42
+    runs: int = 10,
+    outer_reps: int = 100,
+    seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 6: schedbench on 16 Vera cores, 1 vs 2 NUMA domains."""
     sections, data = _vera_numa_experiment(
@@ -565,6 +669,8 @@ def figure6(
         {"outer_reps": outer_reps},
         runs,
         seed,
+        jobs=jobs,
+        cache=cache,
     )
     return ExperimentArtifact(
         name="figure6",
@@ -575,7 +681,11 @@ def figure6(
 
 
 def figure7(
-    runs: int = 10, outer_reps: int = 100, seed: int = 42
+    runs: int = 10,
+    outer_reps: int = 100,
+    seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> ExperimentArtifact:
     """Figure 7: syncbench (reduction) on 16 Vera cores, 1 vs 2 NUMA.
 
@@ -590,6 +700,8 @@ def figure7(
          "constructs": tuple(c.value for c in SyncConstruct)},
         runs,
         seed,
+        jobs=jobs,
+        cache=cache,
     )
     return ExperimentArtifact(
         name="figure7",

@@ -1,0 +1,156 @@
+"""Parallel execution of experiment runs over a process pool.
+
+The paper's evaluation is a sweep of *independent* benchmark runs: the named
+RNG streams in :mod:`repro.rng` derive every run's realization from
+``(master seed, run index)`` alone, so run 7 is the same realization whether
+it is simulated alone, serially after runs 0-6, or concurrently on another
+process.  That makes fan-out trivially deterministic: each worker
+reconstructs the platform + runtime from the (picklable) config and executes
+single runs by index, and the parent reassembles records in run order.  The
+output is therefore *bit-identical* to the serial :class:`Runner`.
+
+Two entry points:
+
+* :class:`ParallelRunner` — drop-in parallel counterpart of
+  :class:`~repro.harness.runner.Runner` for one config
+  (``jobs=1`` degenerates to the serial runner);
+* :class:`Sweep` — schedules the runs of *many* configs into one shared
+  pool, interleaved round-robin by run index so short configs don't
+  serialize behind long ones, with an optional
+  :class:`~repro.harness.cache.ResultCache` consulted per config before any
+  simulation is scheduled.
+
+Workers keep a per-process table of constructed runners keyed by the
+config's cache key, so a config's platform/runtime/benchmark stack is built
+at most once per worker rather than once per run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.cache import ResultCache, cache_key
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult, RunRecord
+from repro.harness.runner import Runner
+
+__all__ = ["ParallelRunner", "Sweep", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a job-count request: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+#: Per-worker-process table of constructed runners (config key -> Runner).
+_WORKER_RUNNERS: dict[str, Runner] = {}
+
+
+def _execute_run(key: str, config: ExperimentConfig, run_index: int) -> RunRecord:
+    """Worker entry point: simulate one run of *config* by index."""
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = _WORKER_RUNNERS[key] = Runner(config)
+    return runner.run_one(run_index)
+
+
+class Sweep:
+    """Batch executor: many configs, one shared process pool, one cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes serially in-process (the
+        degenerate case, no pool); ``None``/``0`` use every core.
+    cache:
+        Optional :class:`ResultCache`.  Each config is looked up before
+        scheduling; finished results (cached or fresh) are written back.
+    """
+
+    def __init__(self, jobs: int | None = 1, cache: ResultCache | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+
+    def run(self, configs: Sequence[ExperimentConfig]) -> list[ExperimentResult]:
+        """Execute every config; results come back in input order."""
+        configs = list(configs)
+        results: list[ExperimentResult | None] = [None] * len(configs)
+
+        pending: list[tuple[int, ExperimentConfig, str]] = []
+        for i, cfg in enumerate(configs):
+            if self.cache is not None:
+                hit = self.cache.get(cfg)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            pending.append((i, cfg, cache_key(cfg)))
+
+        if pending:
+            if self.jobs == 1:
+                for i, cfg, _key in pending:
+                    results[i] = Runner(cfg).run()
+            else:
+                self._run_pool(pending, results)
+            if self.cache is not None:
+                for i, _cfg, _key in pending:
+                    self.cache.put(results[i])
+
+        return results  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        pending: list[tuple[int, ExperimentConfig, str]],
+        results: list[ExperimentResult | None],
+    ) -> None:
+        # interleave round-robin by run index so every config makes progress
+        # from the start instead of queueing whole configs FIFO
+        tasks = sorted(
+            (
+                (run, i, cfg, key)
+                for i, cfg, key in pending
+                for run in range(cfg.runs)
+            ),
+        )
+        max_workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                (i, run): pool.submit(_execute_run, key, cfg, run)
+                for run, i, cfg, key in tasks
+            }
+            for i, cfg, _key in pending:
+                records = tuple(
+                    futures[(i, run)].result() for run in range(cfg.runs)
+                )
+                results[i] = ExperimentResult(config=cfg, records=records)
+
+
+class ParallelRunner:
+    """Parallel counterpart of :class:`~repro.harness.runner.Runner`.
+
+    Fans the runs of one :class:`ExperimentConfig` out over a process pool;
+    ``ParallelRunner(cfg, jobs=1).run()`` is exactly ``Runner(cfg).run()``
+    and any ``jobs`` produces bit-identical results (see module docstring).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+    ):
+        self.config = config
+        self._sweep = Sweep(jobs=jobs, cache=cache)
+
+    @property
+    def jobs(self) -> int:
+        return self._sweep.jobs
+
+    def run(self) -> ExperimentResult:
+        return self._sweep.run([self.config])[0]

@@ -47,7 +47,22 @@ class ExperimentResult:
         return len(self.records)
 
     def labels(self) -> tuple[str, ...]:
-        return self.records[0].labels()
+        """The measurement labels shared by every run.
+
+        All runs of one configuration execute the same benchmark payload, so
+        a record carrying a different label set indicates the runs were
+        mixed up (e.g. results merged across configs) — raise rather than
+        silently trusting ``records[0]``.
+        """
+        expected = self.records[0].labels()
+        for rec in self.records[1:]:
+            if rec.labels() != expected:
+                raise HarnessError(
+                    f"run {rec.run_index} carries series {sorted(rec.labels())} "
+                    f"but run {self.records[0].run_index} carries "
+                    f"{sorted(expected)}; records belong to different payloads"
+                )
+        return expected
 
     def runs_matrix(self, label: str) -> np.ndarray:
         """(n_runs, reps) matrix of repetition times for one measurement."""

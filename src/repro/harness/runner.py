@@ -83,14 +83,41 @@ class Runner:
 
     # -- execution -----------------------------------------------------------------
 
-    def _logger_cpu(self) -> int:
-        if self.config.logger_cpu is not None:
-            return self.config.logger_cpu
-        # default: the last CPU of the machine (a spare core in the paper's
-        # configurations, which always leave at least 2 CPUs free)
-        return self.platform.machine.n_cpus - 1
+    def planned_cpus(self) -> tuple[int, ...]:
+        """CPUs the benchmark team is planned to occupy.
 
-    def _run_one(self, run_index: int) -> RunRecord:
+        Bound runs resolve OMP_PLACES/OMP_PROC_BIND to an exact cpuset.  An
+        unbound team's placement is the OS's choice and unknowable ahead of
+        time, except when the team needs every CPU of the machine.
+        """
+        if self.env.bound:
+            return tuple(self.runtime.resolve_bound_team().cpus)
+        if self.config.num_threads >= self.platform.machine.n_cpus:
+            return tuple(range(self.platform.machine.n_cpus))
+        return ()
+
+    def _logger_cpu(self) -> int:
+        n_cpus = self.platform.machine.n_cpus
+        planned = set(self.planned_cpus())
+        if self.config.logger_cpu is not None:
+            cpu = self.config.logger_cpu
+        else:
+            # default: the last CPU of the machine (a spare core in the
+            # paper's configurations, which leave at least 2 CPUs free)
+            cpu = n_cpus - 1
+        if cpu in planned:
+            free = [c for c in range(n_cpus) if c not in planned]
+            hint = (
+                f"; pass logger_cpu={free[-1]}" if free
+                else "; no CPU is free for the logger on this machine"
+            )
+            raise HarnessError(
+                f"frequency logger CPU {cpu} collides with the benchmark "
+                f"team's planned cpuset {sorted(planned)}{hint}"
+            )
+        return cpu
+
+    def run_one(self, run_index: int) -> RunRecord:
         cfg = self.config
         extra_busy: tuple[int, ...] = ()
         logger = None
@@ -133,5 +160,5 @@ class Runner:
         return RunRecord(run_index=run_index, series=series, freq_log=freq_log)
 
     def run(self) -> ExperimentResult:
-        records = tuple(self._run_one(i) for i in range(self.config.runs))
+        records = tuple(self.run_one(i) for i in range(self.config.runs))
         return ExperimentResult(config=self.config, records=records)

@@ -57,10 +57,18 @@ def bootstrap_ci(
         raise ReproError("need at least 10 resamples")
     if rng is None:
         rng = np.random.default_rng(0)
-    estimates = np.empty(n_resamples)
     n = x.size
-    for i in range(n_resamples):
-        estimates[i] = statistic(x[rng.integers(0, n, size=n)])
+    # One (n_resamples, n) draw consumes the generator's stream exactly as
+    # n_resamples sequential size-n draws would (row-major fill), so results
+    # for a fixed rng are unchanged from the former Python loop.
+    idx = rng.integers(0, n, size=(n_resamples, n))
+    resamples = x[idx]
+    if statistic is np.mean:
+        estimates = resamples.mean(axis=1)
+    elif statistic is np.median:
+        estimates = np.median(resamples, axis=1)
+    else:
+        estimates = np.apply_along_axis(statistic, 1, resamples)
     alpha = (1.0 - confidence) / 2.0
     low, high = np.percentile(estimates, [100 * alpha, 100 * (1 - alpha)])
     return BootstrapCI(

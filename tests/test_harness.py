@@ -135,6 +135,46 @@ class TestRunner:
         with pytest.raises(HarnessError):
             runner._make_benchmark()
 
+    def test_logger_on_spare_cpu_ok(self):
+        cfg = ExperimentConfig(
+            platform="toy", benchmark="syncbench", num_threads=4,
+            runs=1, seed=5, benchmark_params=QUICK,
+            freq_logging=True, logger_cpu=14,
+        )
+        assert Runner(cfg).run().records[0].freq_log.logger_cpu == 14
+
+    def test_logger_collision_with_bound_team(self):
+        # 4 threads bound close on cores occupy CPUs 0-3; CPU 2 collides
+        cfg = ExperimentConfig(
+            platform="toy", benchmark="syncbench", num_threads=4,
+            runs=1, seed=5, benchmark_params=QUICK,
+            freq_logging=True, logger_cpu=2,
+        )
+        with pytest.raises(HarnessError, match=r"collides.*logger_cpu=15"):
+            Runner(cfg).run()
+
+    def test_logger_default_collision_on_saturated_machine(self):
+        # 16 threads on the 16-CPU toy machine leave no spare core, so the
+        # default last-CPU placement must be rejected rather than silently
+        # perturbing the benchmark team
+        cfg = ExperimentConfig(
+            platform="toy", benchmark="syncbench", num_threads=16,
+            places="threads", runs=1, seed=5, benchmark_params=QUICK,
+            freq_logging=True,
+        )
+        with pytest.raises(HarnessError, match="no CPU is free"):
+            Runner(cfg).run()
+
+    def test_planned_cpus_unbound(self):
+        cfg = ExperimentConfig(
+            platform="toy", benchmark="syncbench", num_threads=4,
+            places=None, proc_bind="false", runs=1, seed=5,
+            benchmark_params=QUICK,
+        )
+        assert Runner(cfg).planned_cpus() == ()
+        saturated = Runner(cfg.with_overrides(num_threads=16))
+        assert saturated.planned_cpus() == tuple(range(16))
+
 
 class TestExperimentResult:
     def _result(self):
@@ -156,6 +196,18 @@ class TestExperimentResult:
     def test_unknown_label(self):
         with pytest.raises(HarnessError):
             self._result().runs_matrix("nonexistent")
+
+    def test_labels_reject_divergent_records(self):
+        import numpy as np
+        from repro.harness import RunRecord
+
+        a = RunRecord(run_index=0, series={"x": np.ones(3)})
+        b = RunRecord(run_index=1, series={"y": np.ones(3)})
+        result = ExperimentResult(
+            config=ExperimentConfig(platform="toy", runs=2), records=(a, b)
+        )
+        with pytest.raises(HarnessError, match="run 1"):
+            result.labels()
 
     def test_json_roundtrip(self, tmp_path):
         result = self._result()

@@ -138,6 +138,33 @@ class TestBootstrap:
         with pytest.raises(ReproError):
             bootstrap_ci([1.0], np.mean, n_resamples=2)
 
+    @staticmethod
+    def _loop_reference(x, statistic, n_resamples, rng):
+        """The pre-vectorization implementation, kept as the oracle."""
+        x = np.asarray(x, dtype=np.float64)
+        estimates = np.empty(n_resamples)
+        n = x.size
+        for i in range(n_resamples):
+            estimates[i] = statistic(x[rng.integers(0, n, size=n)])
+        alpha = 0.025
+        low, high = np.percentile(estimates, [100 * alpha, 100 * (1 - alpha)])
+        return float(low), float(high)
+
+    @pytest.mark.parametrize(
+        "statistic",
+        [np.mean, np.median, lambda s: float(np.percentile(s, 90))],
+        ids=["mean", "median", "p90"],
+    )
+    def test_vectorized_matches_loop_reference(self, statistic):
+        x = np.random.default_rng(7).lognormal(0.0, 0.8, 37)
+        ref_low, ref_high = self._loop_reference(
+            x, statistic, 200, np.random.default_rng(11)
+        )
+        ci = bootstrap_ci(x, statistic, n_resamples=200,
+                          rng=np.random.default_rng(11))
+        assert ci.low == ref_low
+        assert ci.high == ref_high
+
 
 class TestCompare:
     def test_identical_distributions(self):
