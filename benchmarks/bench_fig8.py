@@ -1,0 +1,55 @@
+"""Figure 8: work-stealing taskbench, threads x grainsize x noise on Vera.
+
+Checks the tasking subsystem's qualitative shape:
+
+* imbalanced taskloops force stealing (nonzero steals everywhere the team
+  has more than one thread);
+* too-fine grainsize is overhead-bound at scale — per-task runtime costs
+  plus a single-producer deque thieves rarely hit, so g=1 runs *slower*
+  than a moderate grainsize and its failed-steal rate is high;
+* more threads shorten the imbalanced makespan at moderate grainsize;
+* ablating OS noise never makes a configuration slower (the quiet profile
+  isolates the runtime's own scheduling stochasticity).
+"""
+
+from conftest import run_once
+from repro.harness import experiments
+
+
+def test_figure8(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.figure8,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        seed=seed,
+        threads=(2, 8, 16, 30),
+        grainsizes=(1, 8, 64),
+        noise_profiles=("default", "quiet"),
+    )
+    print()
+    print(art.render())
+
+    d = art.data
+
+    # stealing happens in every imbalanced configuration
+    for noise in ("default", "quiet"):
+        for n in (2, 8, 16, 30):
+            for g in (1, 8, 64):
+                assert d[f"{noise}/n{n}/g{g}"]["mean_steals"] > 0
+
+    # fine grain is overhead-bound at scale: slower than moderate grain,
+    # with a failed-steal-dominated scheduler
+    assert d["default/n30/g1"]["mean_us"] > d["default/n30/g8"]["mean_us"]
+    assert d["default/n30/g1"]["failed_steal_rate"] > 0.5
+
+    # parallelism still wins at moderate grain
+    assert d["default/n30/g8"]["mean_us"] < d["default/n2/g8"]["mean_us"]
+
+    # quieting the OS never slows a configuration down
+    for n in (2, 8, 16, 30):
+        for g in (1, 8, 64):
+            assert (
+                d[f"quiet/n{n}/g{g}"]["mean_us"]
+                <= d[f"default/n{n}/g{g}"]["mean_us"] * 1.001
+            )

@@ -14,7 +14,7 @@ Quickstart
 >>> print(result.render())                                    # doctest: +SKIP
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # Public API is re-exported lazily to keep `import repro` cheap and to avoid
 # import cycles while subpackages are loaded on demand.
@@ -31,6 +31,9 @@ _LAZY_ATTRS = {
     "RngFactory": ("repro.rng", "RngFactory"),
     "OMPEnvironment": ("repro.omp", "OMPEnvironment"),
     "OpenMPRuntime": ("repro.omp", "OpenMPRuntime"),
+    "Task": ("repro.omp.tasking", "Task"),
+    "TaskCostParams": ("repro.omp.tasking", "TaskCostParams"),
+    "WorkStealingScheduler": ("repro.omp.tasking", "WorkStealingScheduler"),
     "ExperimentConfig": ("repro.harness", "ExperimentConfig"),
     "Runner": ("repro.harness", "Runner"),
     "ParallelRunner": ("repro.harness", "ParallelRunner"),

@@ -7,12 +7,14 @@ from typing import Callable
 from repro.bench.babelstream import BabelStream
 from repro.bench.epcc.schedbench import Schedbench
 from repro.bench.epcc.syncbench import Syncbench
+from repro.bench.taskbench import Taskbench
 from repro.errors import BenchmarkError
 
 _BENCHMARKS: dict[str, Callable[[], object]] = {
     "syncbench": Syncbench,
     "schedbench": Schedbench,
     "babelstream": BabelStream,
+    "taskbench": Taskbench,
 }
 
 

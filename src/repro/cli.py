@@ -20,6 +20,12 @@ Run a custom configuration and save the raw result::
     repro-omp run --platform dardel --benchmark syncbench --threads 128 \
         --proc-bind close --runs 10 --out result.json
 
+Run the tasking micro-benchmark (a fib(14) tree, OS noise ablated) and
+read the work-stealing metrics next to the variability report::
+
+    repro-omp run --platform vera --benchmark taskbench --threads 16 \
+        --noise quiet --param pattern=fib --param fib_n=14
+
 Show a platform description::
 
     repro-omp platform dardel
@@ -34,8 +40,13 @@ from repro.bench.registry import available_benchmarks
 from repro.errors import ReproError
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
-from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    available_experiments,
+    get_experiment,
+)
 from repro.harness.parallel import ParallelRunner
+from repro.harness.report import render_tasking_summary, split_tasking_labels
 from repro.platform import available_platforms, get_platform
 
 
@@ -77,7 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_platform.add_argument("name", choices=available_platforms())
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    p_exp.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    p_exp.add_argument("name", choices=available_experiments())
     p_exp.add_argument("--runs", type=int, default=None, help="runs per config")
     p_exp.add_argument("--reps", type=int, default=None,
                        help="outer repetitions / stream iterations")
@@ -98,16 +109,39 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--runs", type=int, default=10)
     p_run.add_argument("--reps", type=int, default=None)
     p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--noise", default="default", choices=["default", "quiet"],
+                       help="OS-noise profile (quiet = noise sources ablated)")
+    p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="extra benchmark parameter (repeatable), e.g. "
+                            "--param pattern=fib --param fib_n=14")
     p_run.add_argument("--freq-log", action="store_true")
     p_run.add_argument("--out", default=None, help="save result JSON here")
     _add_execution_flags(p_run)
     return parser
 
 
+def _parse_param(item: str) -> tuple[str, object]:
+    """``KEY=VALUE`` with the value coerced to int/float when it parses."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise ReproError(f"--param needs KEY=VALUE, got {item!r}")
+    value: object = raw
+    for cast in (int, float):
+        try:
+            value = cast(raw)
+            break
+        except ValueError:
+            continue
+    return key, value
+
+
 def _cmd_list() -> int:
     print("platforms:  ", ", ".join(available_platforms()))
     print("benchmarks: ", ", ".join(available_benchmarks()))
-    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("experiments:")
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in available_experiments():
+        print(f"  {name:<{width}}  {EXPERIMENTS[name].description}")
     return 0
 
 
@@ -117,24 +151,19 @@ def _cmd_platform(name: str) -> int:
 
 
 def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
-    driver = ALL_EXPERIMENTS[name]
+    spec = get_experiment(name)
     kwargs: dict = {
         "seed": args.seed,
         "jobs": args.jobs,
         "cache": _make_cache(args),
     }
-    runs, reps = args.runs, args.reps
-    if runs is not None:
-        kwargs["runs"] = runs
-    if reps is not None:
-        # each driver names its repetition knob differently
-        import inspect
-
-        sig = inspect.signature(driver)
-        for key in ("outer_reps", "num_times"):
-            if key in sig.parameters:
-                kwargs[key] = reps
-    artifact = driver(**kwargs)
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    if args.reps is not None:
+        # the registry knows each driver's repetition knob(s)
+        for key in spec.rep_params:
+            kwargs[key] = args.reps
+    artifact = spec.driver(**kwargs)
     print(artifact.render())
     return 0
 
@@ -146,6 +175,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             params["num_times"] = args.reps
         else:
             params["outer_reps"] = args.reps
+    params.update(_parse_param(item) for item in args.param)
     config = ExperimentConfig(
         platform=args.platform,
         benchmark=args.benchmark,
@@ -156,13 +186,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         schedule_chunk=args.chunk,
         runs=args.runs,
         seed=args.seed,
+        noise=args.noise,
         benchmark_params=params,
         freq_logging=args.freq_log,
     )
     result = ParallelRunner(config, jobs=args.jobs, cache=_make_cache(args)).run()
-    for label, report in result.reports().items():
-        print(report.render())
+    time_labels, metric_labels = split_tasking_labels(result.labels())
+    for label in time_labels:
+        print(result.report(label).render())
         print()
+        if f"{label}.steals" in metric_labels:
+            print(
+                render_tasking_summary(
+                    label,
+                    result.runs_matrix(f"{label}.steals"),
+                    result.runs_matrix(f"{label}.failed_steals"),
+                    result.runs_matrix(f"{label}.idle_frac"),
+                )
+            )
+            print()
     if args.out:
         result.save(args.out)
         print(f"saved raw result to {args.out}")

@@ -10,6 +10,16 @@ from repro.omp.env import OMPEnvironment
 from repro.types import ProcBind, ScheduleKind
 
 
+def _jsonify(value: Any) -> Any:
+    """Normalize to JSON-representable shapes (tuples become lists), so a
+    ``to_dict()`` payload equals its own JSON round-trip."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, Mapping):
+        return {k: _jsonify(v) for k, v in value.items()}
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """One benchmark launch configuration.
@@ -32,6 +42,10 @@ class ExperimentConfig:
     benchmark_params:
         Keyword overrides for the benchmark's parameter dataclass
         (e.g. ``{"outer_reps": 20}`` to shrink a test).
+    noise:
+        OS-noise profile selector: ``"default"`` uses the platform's
+        calibrated profile, ``"quiet"`` ablates all noise sources (the
+        experiment drivers sweep this to attribute variability).
     freq_logging / logger_cpu:
         Run the frequency logger on a (spare) CPU during every run.
     label:
@@ -48,6 +62,7 @@ class ExperimentConfig:
     runs: int = 10
     seed: int = 42
     benchmark_params: Mapping[str, Any] = field(default_factory=dict)
+    noise: str = "default"
     freq_logging: bool = False
     logger_cpu: int | None = None
     label: str | None = None
@@ -65,6 +80,10 @@ class ExperimentConfig:
             ScheduleKind(self.schedule)
         except ValueError:
             raise ConfigurationError(f"bad schedule {self.schedule!r}") from None
+        if self.noise not in ("default", "quiet"):
+            raise ConfigurationError(
+                f"bad noise profile {self.noise!r}; choose 'default' or 'quiet'"
+            )
 
     # -- derived ---------------------------------------------------------------
 
@@ -101,7 +120,8 @@ class ExperimentConfig:
             "schedule_chunk": self.schedule_chunk,
             "runs": self.runs,
             "seed": self.seed,
-            "benchmark_params": dict(self.benchmark_params),
+            "benchmark_params": _jsonify(dict(self.benchmark_params)),
+            "noise": self.noise,
             "freq_logging": self.freq_logging,
             "logger_cpu": self.logger_cpu,
             "label": self.label,

@@ -30,20 +30,28 @@ figure4   pinning on/off on Dardel (schedbench@16, syncbench@128, stream@128)
 figure5   ST vs MT on Dardel (schedbench@128, syncbench@32, stream@128)
 figure6   Vera schedbench, 16 cores on 1 vs 2 NUMA domains + freq traces
 figure7   Vera syncbench, same configurations
+figure8   taskbench work-stealing, threads x grainsize x noise on Vera
 ========  ==================================================================
+
+Drivers register themselves through the :func:`experiment` decorator; the
+CLI (``repro-omp list`` / ``repro-omp experiment``) and the bench harness
+discover them from the registry, so a new driver needs no dispatch edits
+anywhere else.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.errors import HarnessError
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.parallel import Sweep
-from repro.harness.report import render_series, render_table
+from repro.harness.report import render_series, render_table, render_tasking_summary
 from repro.harness.results import ExperimentResult
 from repro.stats.descriptive import summarize
 from repro.types import StreamKernel, SyncConstruct
@@ -67,6 +75,71 @@ class ExperimentArtifact:
         return "\n".join(parts)
 
 
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment driver.
+
+    ``rep_params`` names the driver's repetition knobs (``outer_reps`` /
+    ``num_times``), extracted from the signature at registration so callers
+    like the CLI's ``--reps`` can map one number onto whichever knobs a
+    driver has.
+    """
+
+    name: str
+    driver: Callable[..., ExperimentArtifact]
+    description: str
+    rep_params: tuple[str, ...]
+
+
+#: name -> spec, populated by the :func:`experiment` decorator.
+EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+#: Legacy name -> driver view of the registry (kept for callers that only
+#: need the callable, e.g. the bench harness).
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentArtifact]] = {}
+
+_REP_PARAM_NAMES = ("outer_reps", "num_times")
+
+
+def experiment(description: str, name: str | None = None):
+    """Register an experiment driver under *name* (default: function name)."""
+
+    def decorate(fn: Callable[..., ExperimentArtifact]):
+        exp_name = name if name is not None else fn.__name__
+        if exp_name in EXPERIMENTS:
+            raise HarnessError(f"experiment {exp_name!r} registered twice")
+        params = inspect.signature(fn).parameters
+        spec = ExperimentSpec(
+            name=exp_name,
+            driver=fn,
+            description=description,
+            rep_params=tuple(k for k in _REP_PARAM_NAMES if k in params),
+        )
+        EXPERIMENTS[exp_name] = spec
+        ALL_EXPERIMENTS[exp_name] = fn
+        return fn
+
+    return decorate
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered driver; raises :class:`HarnessError` if unknown."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise HarnessError(
+            f"unknown experiment {name!r}; choose from {available_experiments()}"
+        ) from None
+
+
+def available_experiments() -> tuple[str, ...]:
+    return tuple(sorted(EXPERIMENTS))
+
+
 def _run_batch(
     configs: Sequence[ExperimentConfig],
     jobs: int | None = 1,
@@ -80,6 +153,7 @@ def _run_batch(
 # Table 2
 # ---------------------------------------------------------------------------
 
+@experiment("Table 2: run-to-run schedbench dynamic_1 times, Dardel/Vera")
 def table2(
     runs: int = 10,
     outer_reps: int = 100,
@@ -146,6 +220,7 @@ def _thread_places(platform: str, threads: int) -> str:
     return "cores"
 
 
+@experiment("Figure 1: syncbench (reduction) time vs thread count")
 def figure1(
     runs: int = 10,
     outer_reps: int = 100,
@@ -209,6 +284,7 @@ def figure1(
 # Figure 2 — BabelStream scalability
 # ---------------------------------------------------------------------------
 
+@experiment("Figure 2: BabelStream kernel times vs thread count")
 def figure2(
     runs: int = 3,
     num_times: int = 100,
@@ -265,6 +341,7 @@ def figure2(
 # Figure 3 — scalability of variability
 # ---------------------------------------------------------------------------
 
+@experiment("Figure 3: normalized min/max variability vs thread count")
 def figure3(
     runs: int = 10,
     outer_reps: int = 100,
@@ -358,6 +435,7 @@ def figure3(
 # Figure 4 — the effect of thread pinning (Dardel)
 # ---------------------------------------------------------------------------
 
+@experiment("Figure 4: thread pinning on/off on Dardel")
 def figure4(
     runs: int = 10,
     outer_reps: int = 100,
@@ -452,6 +530,7 @@ def figure4(
 # Figure 5 — the effect of SMT (Dardel)
 # ---------------------------------------------------------------------------
 
+@experiment("Figure 5: ST vs MT at equal thread counts on Dardel")
 def figure5(
     runs: int = 10,
     outer_reps: int = 100,
@@ -655,6 +734,7 @@ def _vera_numa_experiment(
     return tuple(sections), data
 
 
+@experiment("Figure 6: Vera schedbench on 1 vs 2 NUMA domains + freq traces")
 def figure6(
     runs: int = 10,
     outer_reps: int = 100,
@@ -680,6 +760,7 @@ def figure6(
     )
 
 
+@experiment("Figure 7: Vera syncbench on 1 vs 2 NUMA domains + freq traces")
 def figure7(
     runs: int = 10,
     outer_reps: int = 100,
@@ -711,14 +792,128 @@ def figure7(
     )
 
 
-#: All drivers, for the CLI and the bench harness.
-ALL_EXPERIMENTS = {
-    "table2": table2,
-    "figure1": figure1,
-    "figure2": figure2,
-    "figure3": figure3,
-    "figure4": figure4,
-    "figure5": figure5,
-    "figure6": figure6,
-    "figure7": figure7,
-}
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — tasking variability (work-stealing runtime)
+# ---------------------------------------------------------------------------
+
+@experiment("Figure 8: taskbench work-stealing vs threads x grainsize x noise")
+def figure8(
+    runs: int = 10,
+    outer_reps: int = 20,
+    seed: int = 42,
+    threads: Sequence[int] = (2, 8, 16, 30),
+    grainsizes: Sequence[int] = (1, 8, 64),
+    noise_profiles: Sequence[str] = ("default", "quiet"),
+    total_iters: int = 512,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> ExperimentArtifact:
+    """Figure 8: tasking-runtime variability on Vera.
+
+    Sweeps an imbalanced ``taskloop`` (linear work ramp, so LIFO owners
+    finish their cheap early chunks and thieves must steal the expensive
+    tail) across team size, grainsize and the OS-noise profile.  The
+    artifact reports, per configuration, the construct time, its CV, and
+    the scheduler internals no worksharing benchmark can expose: steals
+    per repetition, the failed-steal rate of the random victim selection,
+    and the idle fraction of the team.
+
+    The noise ablation attributes variability: with noise quieted, what
+    remains is purely the runtime's own stochastic scheduling (victim
+    choices + contention jitter); the default profile adds the OS on top.
+    """
+    combos = [
+        (noise, n, g)
+        for noise in noise_profiles
+        for n in threads
+        for g in grainsizes
+    ]
+    configs = [
+        ExperimentConfig(
+            platform="vera",
+            benchmark="taskbench",
+            num_threads=n,
+            places="cores",
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            noise=noise,
+            benchmark_params={
+                "outer_reps": outer_reps,
+                "pattern": "taskloop",
+                "grainsize": g,
+                "total_iters": total_iters,
+                "imbalance": 0.6,
+            },
+        )
+        for noise, n, g in combos
+    ]
+    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+
+    sections: list[tuple[str, str]] = []
+    data: dict[str, Any] = {}
+    for noise in noise_profiles:
+        rows = []
+        for n in threads:
+            row: list[object] = [n]
+            for g in grainsizes:
+                result = by_combo[(noise, n, g)]
+                label = f"taskloop_g{g}"
+                matrix = result.runs_matrix(label)
+                steals = result.runs_matrix(f"{label}.steals")
+                failed = result.runs_matrix(f"{label}.failed_steals")
+                idle = result.runs_matrix(f"{label}.idle_frac")
+                pooled = summarize(matrix.ravel())
+                attempts = float(steals.sum() + failed.sum())
+                entry = {
+                    "mean_us": to_us(pooled.mean),
+                    "cv": pooled.cv,
+                    "norm_max": pooled.norm_max,
+                    "mean_steals": float(steals.mean()),
+                    "failed_steal_rate": (
+                        float(failed.sum()) / attempts if attempts else 0.0
+                    ),
+                    "idle_frac": float(idle.mean()),
+                }
+                data[f"{noise}/n{n}/g{g}"] = entry
+                row.extend(
+                    [
+                        f"{entry['mean_us']:.1f}",
+                        f"{entry['cv']:.4f}",
+                        f"{entry['mean_steals']:.1f}",
+                    ]
+                )
+            rows.append(row)
+        headers = ["threads"] + [
+            f"g{g} {col}" for g in grainsizes for col in ("us", "CV", "steals")
+        ]
+        sections.append(
+            (
+                f"noise={noise}: taskloop time/CV/steals per rep",
+                render_table(headers, rows),
+            )
+        )
+
+    # one detailed scheduler panel: widest team, finest grain, default noise
+    noise0, n0, g0 = noise_profiles[0], max(threads), min(grainsizes)
+    label0 = f"taskloop_g{g0}"
+    detail = by_combo[(noise0, n0, g0)]
+    sections.append(
+        (
+            f"noise={noise0} n={n0} g={g0}: scheduler internals",
+            render_tasking_summary(
+                label0,
+                detail.runs_matrix(f"{label0}.steals"),
+                detail.runs_matrix(f"{label0}.failed_steals"),
+                detail.runs_matrix(f"{label0}.idle_frac"),
+            ),
+        )
+    )
+    return ExperimentArtifact(
+        name="figure8",
+        description="work-stealing tasking: variability vs grainsize and noise",
+        sections=tuple(sections),
+        data=data,
+    )

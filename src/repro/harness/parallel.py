@@ -142,7 +142,7 @@ class ParallelRunner:
     def __init__(
         self,
         config: ExperimentConfig,
-        jobs: int | None = None,
+        jobs: int | None = 1,
         cache: ResultCache | None = None,
     ):
         self.config = config

@@ -69,3 +69,89 @@ def render_norm_minmax_rows(
     for i, (lo, hi) in enumerate(np.asarray(norm), start=1):
         lines.append(f"  run {i:>2}: min {lo:.3f}  max {hi:.3f}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Tasking metrics
+# ---------------------------------------------------------------------------
+
+#: Suffixes under which the tasking scheduler's internals ride along with a
+#: measurement's repetition times in a run record's series (see
+#: :mod:`repro.bench.taskbench`).
+TASKING_METRIC_SUFFIXES = (".steals", ".failed_steals", ".idle_frac")
+
+
+def split_tasking_labels(labels: Sequence[str]) -> tuple[list[str], list[str]]:
+    """Partition series labels into (time series, tasking-metric series).
+
+    A label is a tasking *base* when all of its metric companions are
+    present; the companions themselves land in the second list.
+
+    >>> split_tasking_labels(["taskloop_g4", "taskloop_g4.steals",
+    ...                       "taskloop_g4.failed_steals",
+    ...                       "taskloop_g4.idle_frac", "reduction"])
+    (['taskloop_g4', 'reduction'], ['taskloop_g4.steals', 'taskloop_g4.failed_steals', 'taskloop_g4.idle_frac'])
+    """
+    label_set = set(labels)
+    bases = {
+        label
+        for label in labels
+        if all(f"{label}{s}" in label_set for s in TASKING_METRIC_SUFFIXES)
+    }
+    metrics = {
+        f"{base}{s}" for base in bases for s in TASKING_METRIC_SUFFIXES
+    }
+    return (
+        [lb for lb in labels if lb not in metrics],
+        [lb for lb in labels if lb in metrics],
+    )
+
+
+def render_tasking_summary(
+    label: str,
+    steals: np.ndarray,
+    failed_steals: np.ndarray,
+    idle_frac: np.ndarray,
+) -> str:
+    """Per-run work-stealing summary for one measurement.
+
+    All three inputs are ``(n_runs, reps)`` matrices of the scheduler's
+    per-repetition internals: successful steals, failed steal attempts,
+    and the per-repetition idle fraction (share of thread-time spent
+    looking for work).
+    """
+    steals = np.asarray(steals, dtype=np.float64)
+    failed = np.asarray(failed_steals, dtype=np.float64)
+    idle = np.asarray(idle_frac, dtype=np.float64)
+    if not steals.shape == failed.shape == idle.shape or steals.ndim != 2:
+        raise ValueError("tasking metric matrices must share a (runs, reps) shape")
+
+    def fail_rate(s: np.ndarray, f: np.ndarray) -> float:
+        attempts = float(s.sum() + f.sum())
+        return float(f.sum()) / attempts if attempts else 0.0
+
+    rows = []
+    for i in range(steals.shape[0]):
+        rows.append(
+            [
+                i + 1,
+                f"{float(steals[i].mean()):.1f}",
+                f"{float(failed[i].mean()):.1f}",
+                f"{fail_rate(steals[i], failed[i]):.3f}",
+                f"{float(idle[i].mean()):.3f}",
+            ]
+        )
+    rows.append(
+        [
+            "all",
+            f"{float(steals.mean()):.1f}",
+            f"{float(failed.mean()):.1f}",
+            f"{fail_rate(steals, failed):.3f}",
+            f"{float(idle.mean()):.3f}",
+        ]
+    )
+    return render_table(
+        ["run", "steals/rep", "failed/rep", "fail rate", "idle frac"],
+        rows,
+        title=f"{label}: work-stealing scheduler metrics",
+    )

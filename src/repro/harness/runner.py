@@ -9,6 +9,7 @@ import numpy as np
 from repro.bench.babelstream import BabelStream, BabelStreamParams
 from repro.bench.epcc.schedbench import Schedbench, SchedbenchParams
 from repro.bench.epcc.syncbench import Syncbench, SyncbenchParams
+from repro.bench.taskbench import Taskbench, TaskbenchParams
 from repro.errors import HarnessError
 from repro.harness.config import ExperimentConfig
 from repro.harness.freqlogger import FrequencyLogger
@@ -30,6 +31,8 @@ class Runner:
     def __init__(self, config: ExperimentConfig):
         self.config = config
         self.platform = get_platform(config.platform)
+        if config.noise == "quiet":
+            self.platform = self.platform.quiet()
         self.env = config.omp_environment()
         self.runtime = OpenMPRuntime(self.platform, self.env)
         self.rng_factory = RngFactory(config.seed).child(
@@ -66,6 +69,9 @@ class Runner:
         if name == "babelstream":
             bench = BabelStream(BabelStreamParams(**params))
             return ("babelstream", bench, None)
+        if name == "taskbench":
+            bench = Taskbench(TaskbenchParams(**params))
+            return ("taskbench", bench, None)
         raise HarnessError(f"unknown benchmark {self.config.benchmark!r}")
 
     # -- horizon estimation ------------------------------------------------------
@@ -76,6 +82,8 @@ class Runner:
             return bench.horizon_estimate() * (len(payload) + 0.5)
         if kind == "schedbench":
             return bench.horizon_estimate(ctx_threads) * (len(payload) + 0.5)
+        if kind == "taskbench":
+            return bench.horizon_estimate(ctx_threads) * 1.5
         # babelstream: needs a context to price kernels; use a generous bound
         p = bench.params
         per_iter = 5 * p.array_bytes * 3 / 20e9 + 5 * p.kernel_gap
@@ -143,6 +151,10 @@ class Runner:
             for sched_kind, chunk in payload:
                 m = bench.measure(ctx, sched_kind, chunk)
                 series[m.label] = m.rep_times
+        elif kind == "taskbench":
+            tm = bench.measure(ctx)
+            series[tm.label] = tm.rep_times
+            series.update(tm.metric_series())
         else:  # babelstream
             sm = bench.run(ctx)
             for kernel, times in sm.times.items():

@@ -14,6 +14,9 @@ Implements the runtime mechanisms the paper's benchmarks exercise:
   construct syncbench measures;
 * :mod:`repro.omp.region` — the parallel-region executor combining work,
   frequency traces, OS noise, SMT sharing and scheduler behaviour;
+* :mod:`repro.omp.tasking` — the explicit-tasking runtime: per-thread
+  deques, the work-stealing scheduler, ``taskloop``/recursive workload
+  generators and their cost model;
 * :mod:`repro.omp.runtime` — the user-facing facade.
 """
 
@@ -24,6 +27,14 @@ from repro.omp.team import Team
 from repro.omp.schedule import LoopPlan, ScheduleCostParams, plan_loop
 from repro.omp.constructs import ConstructProfile, SyncCostModel, SyncCostParams
 from repro.omp.region import NoiseMode, RegionExecutor, RegionParams, RegionResult
+from repro.omp.tasking import (
+    Task,
+    TaskCostModel,
+    TaskCostParams,
+    TaskDeque,
+    TaskRunStats,
+    WorkStealingScheduler,
+)
 from repro.omp.runtime import OpenMPRuntime
 
 __all__ = [
@@ -43,5 +54,11 @@ __all__ = [
     "RegionExecutor",
     "RegionParams",
     "RegionResult",
+    "Task",
+    "TaskDeque",
+    "TaskCostModel",
+    "TaskCostParams",
+    "TaskRunStats",
+    "WorkStealingScheduler",
     "OpenMPRuntime",
 ]

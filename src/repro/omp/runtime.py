@@ -26,6 +26,7 @@ from repro.omp.env import OMPEnvironment
 from repro.omp.places import parse_places
 from repro.omp.proc_bind import assign_cpus, bind_threads
 from repro.omp.region import RegionExecutor, RegionParams
+from repro.omp.tasking.params import TaskCostModel, TaskCostParams
 from repro.omp.team import Team
 from repro.osnoise.model import NoiseModel, NoiseRealization
 from repro.rng import RngFactory
@@ -90,6 +91,10 @@ class OpenMPRuntime:
         self.noise_model = NoiseModel(platform.machine, platform.noise_profile.sources)
         self.sched_model = SchedulerModel(platform.machine, platform.sched_params)
         self.sync_cost = SyncCostModel(platform.sync_params)
+        self.task_cost = TaskCostModel(
+            getattr(platform, "task_params", None) or TaskCostParams(),
+            self.sync_cost,
+        )
         self.governor = make_governor(platform.default_governor)
         if env.num_threads > self.machine.n_cpus:
             raise ConfigurationError(

@@ -1,0 +1,333 @@
+"""The work-stealing task scheduler.
+
+:class:`WorkStealingScheduler` executes one task graph on a resolved
+:class:`~repro.omp.team.Team` by driving one generator process per thread
+through the discrete-event engine (:mod:`repro.sim.engine`).  The model
+follows the LLVM/libomp runtime:
+
+* each thread owns a :class:`~repro.omp.tasking.deque.TaskDeque`; the
+  owner pushes/pops LIFO at the bottom, thieves take FIFO from the top;
+* an out-of-work thread scans the other team members in *random order*
+  (drawn from its own named RNG stream — the paper's class of
+  irreproducible runtime decisions, made reproducible here by seeding)
+  and steals from the first non-empty deque it probes;
+* every empty probe costs a cache-line read, and a fully failed scan
+  triggers an exponential backoff — bounding both interconnect traffic
+  and simulation events, the way libomp's thieves yield after a fruitless
+  pass over the team;
+* every runtime operation is priced by a
+  :class:`~repro.omp.tasking.params.TaskCostModel`, so steals slow down
+  when the team spans NUMA domains or sockets;
+* task *bodies* execute against the run's frequency plan
+  (cycle-accurate rescaling through the per-CPU trace) and absorb the OS
+  noise stolen from their CPU during the body window, with SMT sharing
+  derating throughput — the same physical substrate the worksharing
+  executor uses.
+
+Because the engine orders simultaneous events deterministically and every
+random decision draws from a named per-thread stream, a given (team,
+graph, streams) triple always yields the identical schedule — bit-equal
+across serial and process-pool execution.
+
+The engine is armed with a ``max_events`` runaway guard sized from the
+graph, so a scheduling bug (e.g. a termination-detection error that leaves
+thieves spinning) raises :class:`~repro.errors.SimulationError` instead of
+hanging the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.freq.dvfs import FrequencyPlan
+from repro.omp.tasking.deque import TaskDeque
+from repro.omp.tasking.params import TaskCostModel
+from repro.omp.tasking.task import Task
+from repro.omp.team import Team
+from repro.osnoise.model import NoiseRealization
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.process import Timeout
+
+
+@dataclass(frozen=True)
+class TaskRunStats:
+    """Outcome of one task-graph execution."""
+
+    t_start: float
+    t_end: float
+    total_tasks: int
+    tasks_executed: np.ndarray = field(compare=False)
+    steals: np.ndarray = field(compare=False)
+    failed_steals: np.ndarray = field(compare=False)
+    idle_time: np.ndarray = field(compare=False)
+    overhead_time: np.ndarray = field(compare=False)
+    busy_time: np.ndarray = field(compare=False)
+    events_executed: int = 0
+
+    @property
+    def makespan(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def n_threads(self) -> int:
+        return int(self.tasks_executed.size)
+
+    @property
+    def total_steals(self) -> int:
+        return int(self.steals.sum())
+
+    @property
+    def total_failed_steals(self) -> int:
+        return int(self.failed_steals.sum())
+
+    @property
+    def failed_steal_rate(self) -> float:
+        """Empty fraction of all deque probes (0 when none were made).
+
+        ``failed_steals`` counts individual empty probes (several per scan),
+        so this is the probability a thief's probe found nothing.
+        """
+        attempts = self.total_steals + self.total_failed_steals
+        return self.total_failed_steals / attempts if attempts else 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Share of total thread-time spent looking for work."""
+        span = self.makespan * self.n_threads
+        return float(self.idle_time.sum()) / span if span > 0 else 0.0
+
+
+class WorkStealingScheduler:
+    """Executes task graphs for one team against one run's realization.
+
+    Parameters
+    ----------
+    team:
+        The resolved thread team (thread ``i`` runs on ``team.cpus[i]``).
+    cost_model:
+        Prices for the runtime operations.
+    freq_plan / noise:
+        The run's frequency traces and OS-noise realization (task bodies
+        are rescaled and extended through them; runtime operations are
+        treated as uncore-bound wall time).
+    streams:
+        One :class:`numpy.random.Generator` per thread — victim selection
+        and per-task work jitter draw from thread ``i``'s own stream, so
+        adding draws to one thread never perturbs another.
+    max_events:
+        Engine runaway cap; ``None`` sizes it from the graph
+        (see :meth:`run`).
+    """
+
+    def __init__(
+        self,
+        team: Team,
+        cost_model: TaskCostModel,
+        freq_plan: FrequencyPlan,
+        noise: NoiseRealization,
+        streams: Sequence[np.random.Generator],
+        max_events: int | None = None,
+    ):
+        if len(streams) != team.n_threads:
+            raise ConfigurationError(
+                f"need one RNG stream per thread: got {len(streams)} "
+                f"for {team.n_threads} threads"
+            )
+        self.team = team
+        self.cost_model = cost_model
+        self.freq_plan = freq_plan
+        self.noise = noise
+        self.streams = list(streams)
+        self.max_events = max_events
+
+    # -- helpers -------------------------------------------------------------
+
+    def _body_duration(self, thread: int, t: float, work: float) -> float:
+        """Wall time of a task body started at *t* on this thread's CPU.
+
+        One-pass noise accounting: the compute window is rescaled through
+        the CPU's frequency trace, then extended by the OS time stolen
+        inside it (noise falling into the extension itself is neglected —
+        bodies are short against the noise processes).
+        """
+        if work <= 0:
+            return 0.0
+        p = self.cost_model.params
+        if self.team.smt_shared[thread]:
+            work = work / p.smt_efficiency
+        cpu = self.team.cpus[thread]
+        cycles = work * self.freq_plan.calibration_hz
+        dur = self.freq_plan.duration_for_cycles(cpu, t, cycles)
+        dur += self.noise.stolen_on(cpu).overlap(t, t + dur)
+        return dur
+
+    def _default_cap(self, total_tasks: int) -> int:
+        """Generous event budget: ~3 events per task + steal-loop slack."""
+        return 10_000 + 40 * total_tasks + 4_000 * self.team.n_threads
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Task | Sequence[Task],
+        t_start: float = 0.0,
+        initial_owner: int = 0,
+    ) -> TaskRunStats:
+        """Execute *tasks* (a root task or a flat bag) to quiescence.
+
+        The initial tasks are pushed into ``initial_owner``'s deque (the
+        encountering thread — thread 0 for a ``single``-generated bag),
+        every thread enters the scheduling loop at *t_start*, and the
+        region ends when the last task body completes.
+        """
+        initial = (tasks,) if isinstance(tasks, Task) else tuple(tasks)
+        if not initial:
+            raise ConfigurationError("task graph is empty")
+        n = self.team.n_threads
+        if not 0 <= initial_owner < n:
+            raise ConfigurationError(
+                f"initial owner {initial_owner} outside team of {n}"
+            )
+        total_tasks = sum(t.count() for t in initial)
+        cap = (
+            self.max_events
+            if self.max_events is not None
+            else self._default_cap(total_tasks)
+        )
+        engine = Engine(clock=Clock(t_start), max_events=cap)
+
+        deques = [TaskDeque(owner=i) for i in range(n)]
+        for task in initial:
+            deques[initial_owner].push(task)
+
+        state = _SchedulerState(outstanding=len(initial), t_done=t_start)
+        tasks_executed = np.zeros(n, dtype=np.int64)
+        steals = np.zeros(n, dtype=np.int64)
+        failed = np.zeros(n, dtype=np.int64)
+        idle = np.zeros(n)
+        overhead = np.zeros(n)
+        busy = np.zeros(n)
+
+        pop_cost = self.cost_model.pop_cost(self.team)
+        create_cost = self.cost_model.create_cost(self.team)
+        steal_cost = self.cost_model.steal_cost(self.team)
+        failed_cost = self.cost_model.failed_steal_cost(self.team)
+        jitter_sigma = self.cost_model.params.work_jitter_sigma
+
+        def execute(i: int, task: Task):
+            """Spawn children, then run the body (generator fragment)."""
+            if task.children:
+                for child in task.children:
+                    deques[i].push(child)
+                state.outstanding += len(task.children)
+                spawn_cost = len(task.children) * create_cost
+                overhead[i] += spawn_cost
+                yield Timeout(spawn_cost)
+            work = task.work
+            if jitter_sigma > 0.0 and work > 0.0:
+                work *= float(
+                    self.streams[i].lognormal(
+                        mean=-0.5 * jitter_sigma**2, sigma=jitter_sigma
+                    )
+                )
+            dur = self._body_duration(i, engine.clock.now, work)
+            busy[i] += dur
+            yield Timeout(dur)
+            tasks_executed[i] += 1
+            state.outstanding -= 1
+            if state.outstanding == 0:
+                state.t_done = engine.clock.now
+            elif state.outstanding < 0:  # pragma: no cover - invariant
+                raise SimulationError("task accounting went negative")
+
+        def worker(i: int):
+            rng = self.streams[i]
+            failed_scans = 0
+            while state.outstanding > 0:
+                if deques[i]:
+                    failed_scans = 0
+                    task = deques[i].pop()
+                    overhead[i] += pop_cost
+                    yield Timeout(pop_cost)
+                    yield from execute(i, task)
+                    continue
+                # out of local work: probe the other deques in random order
+                # and take from the first non-empty one
+                victim, empty_probes = self._scan_victims(i, deques, rng)
+                failed[i] += empty_probes
+                if victim is not None:
+                    failed_scans = 0
+                    task = deques[victim].steal()
+                    steals[i] += 1
+                    cost = empty_probes * failed_cost + steal_cost
+                    overhead[i] += cost
+                    yield Timeout(cost)
+                    yield from execute(i, task)
+                else:
+                    failed_scans += 1
+                    delay = (
+                        empty_probes * failed_cost
+                        + self.cost_model.backoff(failed_scans)
+                    )
+                    idle[i] += delay
+                    yield Timeout(delay)
+
+        for i in range(n):
+            engine.spawn(worker(i), name=f"worker-{i}")
+        engine.run()
+
+        if state.outstanding != 0:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"scheduler quiesced with {state.outstanding} tasks outstanding"
+            )
+        return TaskRunStats(
+            t_start=t_start,
+            t_end=state.t_done,
+            total_tasks=total_tasks,
+            tasks_executed=tasks_executed,
+            steals=steals,
+            failed_steals=failed,
+            idle_time=idle,
+            overhead_time=overhead,
+            busy_time=busy,
+            events_executed=engine.events_executed,
+        )
+
+    def _scan_victims(
+        self,
+        thief: int,
+        deques: Sequence[TaskDeque],
+        rng: np.random.Generator,
+    ) -> tuple[int | None, int]:
+        """One steal scan: probe the other threads in uniform random order.
+
+        Returns ``(victim, empty_probes)`` — the first thread found with a
+        non-empty deque (``None`` when every probe came up empty) and the
+        number of empty deques probed before stopping.  The first victim
+        probed is uniform over the team, so a lone producer is found after
+        ``(n-1)/2`` empty probes in expectation rather than the geometric
+        tail a probe-one-then-backoff thief would suffer.
+        """
+        n = self.team.n_threads
+        if n == 1:
+            return None, 0
+        empty_probes = 0
+        for idx in rng.permutation(n - 1):
+            victim = int(idx) + 1 if int(idx) >= thief else int(idx)
+            if deques[victim]:
+                return victim, empty_probes
+            empty_probes += 1
+        return None, empty_probes
+
+
+@dataclass
+class _SchedulerState:
+    """Mutable shared state of one scheduling episode."""
+
+    outstanding: int
+    t_done: float

@@ -1,0 +1,149 @@
+"""Task-graph workload generators.
+
+Three generator families cover the classes of tasking code the paper's
+benchmark suites (EPCC taskbench, BOTS-style kernels) exercise:
+
+* :func:`taskloop_tasks` — the ``taskloop`` construct: a flat bag of chunk
+  tasks over an iteration space, sized by ``grainsize`` or ``num_tasks``
+  per the OpenMP 5 rules, with an optional deterministic work ramp
+  (``imbalance``) that forces load imbalance and therefore stealing;
+* :func:`fib_tasks` — the canonical recursive divide-and-conquer shape
+  (``fib(n)`` spawns ``fib(n-1)`` and ``fib(n-2)``), whose deep unbalanced
+  tree is what work-stealing was designed for;
+* :func:`uniform_tasks` — EPCC taskbench's *parallel task generation*
+  pattern: the master generates ``n`` equal tasks, so every other thread
+  must steal its first task from the master's deque.
+
+All generators are pure functions of their parameters: the same arguments
+always produce the identical graph (work values included), keeping the
+simulator's determinism guarantees intact.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.omp.tasking.task import Task
+
+
+def taskloop_tasks(
+    total_iters: int,
+    iter_work: float,
+    grainsize: int | None = None,
+    num_tasks: int | None = None,
+    imbalance: float = 0.0,
+) -> tuple[Task, ...]:
+    """Chunk an iteration space into ``taskloop`` tasks.
+
+    Exactly one of ``grainsize`` / ``num_tasks`` may be given (OpenMP
+    forbids both on one construct).  With ``grainsize`` the chunks hold
+    ``grainsize`` iterations each and the remainder folds into the last
+    chunk, so every chunk has size in ``[grainsize, 2*grainsize)`` — the
+    specification's guarantee.  With ``num_tasks`` the space splits into
+    that many near-equal chunks (sizes differ by at most one).  With
+    neither, the runtime's default is modelled as ``num_tasks = 0`` left to
+    the caller (a :class:`ConfigurationError` here, to keep the choice
+    explicit).
+
+    ``imbalance`` applies a linear per-iteration work ramp from
+    ``(1 - imbalance)`` to ``(1 + imbalance)`` across the iteration space
+    (total work preserved to first order), so early chunks are cheap and
+    late chunks expensive — the classic trigger for stealing under LIFO
+    execution.
+
+    >>> [t.tag for t in taskloop_tasks(10, 1e-6, grainsize=4)]
+    ['chunk0[0:4)', 'chunk1[4:10)']
+    >>> [round(t.work * 1e6, 2) for t in taskloop_tasks(8, 1e-6, num_tasks=4)]
+    [2.0, 2.0, 2.0, 2.0]
+    """
+    if total_iters <= 0:
+        raise ConfigurationError("total_iters must be positive")
+    if iter_work < 0:
+        raise ConfigurationError("iter_work must be non-negative")
+    if not 0.0 <= imbalance < 1.0:
+        raise ConfigurationError("imbalance must be in [0, 1)")
+    if (grainsize is None) == (num_tasks is None):
+        raise ConfigurationError(
+            "specify exactly one of grainsize / num_tasks (like the "
+            "taskloop construct)"
+        )
+
+    bounds: list[tuple[int, int]] = []
+    if grainsize is not None:
+        if grainsize <= 0:
+            raise ConfigurationError("grainsize must be positive")
+        lo = 0
+        while total_iters - lo >= 2 * grainsize:
+            bounds.append((lo, lo + grainsize))
+            lo += grainsize
+        bounds.append((lo, total_iters))  # final chunk: [grainsize, 2*grainsize)
+    else:
+        assert num_tasks is not None
+        if num_tasks <= 0:
+            raise ConfigurationError("num_tasks must be positive")
+        n = min(num_tasks, total_iters)
+        base, extra = divmod(total_iters, n)
+        lo = 0
+        for k in range(n):
+            size = base + (1 if k < extra else 0)
+            bounds.append((lo, lo + size))
+            lo += size
+
+    def iter_cost(i: int) -> float:
+        if imbalance == 0.0 or total_iters == 1:
+            return iter_work
+        ramp = 2.0 * i / (total_iters - 1) - 1.0  # -1 .. +1
+        return iter_work * (1.0 + imbalance * ramp)
+
+    tasks = []
+    for k, (lo, hi) in enumerate(bounds):
+        work = sum(iter_cost(i) for i in range(lo, hi))
+        tasks.append(Task(work=work, tag=f"chunk{k}[{lo}:{hi})"))
+    return tuple(tasks)
+
+
+def fib_tasks(
+    n: int,
+    leaf_work: float,
+    node_work: float,
+    cutoff: int = 2,
+) -> Task:
+    """The ``fib(n)`` divide-and-conquer tree.
+
+    ``fib(k)`` with ``k >= cutoff`` spawns ``fib(k-1)`` and ``fib(k-2)``
+    and pays ``node_work`` itself (the combine); below the cutoff it is a
+    leaf paying ``leaf_work``.  The number of tasks follows the Fibonacci
+    recurrence, and the tree is maximally unbalanced — the first spawn's
+    subtree is ~1.6x the second's at every level.
+
+    >>> fib_tasks(5, 1e-6, 1e-7).count()
+    15
+    """
+    if n < 0:
+        raise ConfigurationError("fib index must be non-negative")
+    if cutoff < 1:
+        raise ConfigurationError("cutoff must be >= 1")
+    if leaf_work < 0 or node_work < 0:
+        raise ConfigurationError("fib work parameters must be non-negative")
+    if n < cutoff:
+        return Task(work=leaf_work, tag=f"fib({n})")
+    return Task(
+        work=node_work,
+        tag=f"fib({n})",
+        children=(
+            fib_tasks(n - 1, leaf_work, node_work, cutoff),
+            fib_tasks(n - 2, leaf_work, node_work, cutoff),
+        ),
+    )
+
+
+def uniform_tasks(n_tasks: int, task_work: float) -> tuple[Task, ...]:
+    """EPCC taskbench's flat master-generated bag of equal tasks.
+
+    >>> len(uniform_tasks(8, 1e-6))
+    8
+    """
+    if n_tasks <= 0:
+        raise ConfigurationError("n_tasks must be positive")
+    if task_work < 0:
+        raise ConfigurationError("task_work must be non-negative")
+    return tuple(Task(work=task_work, tag=f"task{k}") for k in range(n_tasks))

@@ -21,6 +21,7 @@ from repro.mem.bandwidth import MemorySpec
 from repro.omp.constructs import SyncCostParams
 from repro.omp.region import RegionParams
 from repro.omp.schedule import ScheduleCostParams
+from repro.omp.tasking.params import TaskCostParams
 from repro.osnoise.profiles import NoiseProfile, dardel_noise, quiet_profile, vera_noise
 from repro.sched.params import SchedParams
 from repro.topology.builder import TopologyBuilder
@@ -40,6 +41,7 @@ class Platform:
     noise_profile: NoiseProfile
     sched_params: SchedParams = field(default_factory=SchedParams)
     sync_params: SyncCostParams = field(default_factory=SyncCostParams)
+    task_params: TaskCostParams = field(default_factory=TaskCostParams)
     sched_cost_params: ScheduleCostParams = field(default_factory=ScheduleCostParams)
     region_params: RegionParams = field(default_factory=RegionParams)
     default_governor: str = "performance"

@@ -39,6 +39,13 @@ class ScheduledEvent:
 class Engine:
     """Discrete-event engine.
 
+    ``max_events`` is a lifetime cap on executed events: once the engine has
+    executed that many, the next :meth:`step` raises
+    :class:`~repro.errors.SimulationError`.  It is a runaway guard — a buggy
+    process that re-arms itself forever (e.g. a steal loop that never
+    terminates) fails fast with a diagnostic instead of spinning; it is not
+    a way to pause a simulation (use ``run(until=...)`` for that).
+
     Examples
     --------
     >>> eng = Engine()
@@ -52,8 +59,11 @@ class Engine:
     2.0
     """
 
-    def __init__(self, clock: Optional[Clock] = None):
+    def __init__(self, clock: Optional[Clock] = None, max_events: Optional[int] = None):
+        if max_events is not None and max_events <= 0:
+            raise SimulationError(f"max_events must be positive, got {max_events}")
         self.clock = clock if clock is not None else Clock()
+        self.max_events = max_events
         self._queue: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_executed = 0
@@ -118,6 +128,15 @@ class Engine:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
+            if (
+                self.max_events is not None
+                and self._events_executed >= self.max_events
+            ):
+                raise SimulationError(
+                    f"engine event cap exceeded ({self.max_events} events "
+                    f"executed, {self.pending + 1} still pending at "
+                    f"t={self.clock.now!r}); likely a runaway process"
+                )
             self.clock.advance_to(ev.time)
             ev.callback()
             self._events_executed += 1

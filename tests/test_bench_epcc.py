@@ -245,5 +245,5 @@ class TestRegistry:
 
     def test_available(self):
         assert set(available_benchmarks()) == {
-            "babelstream", "schedbench", "syncbench",
+            "babelstream", "schedbench", "syncbench", "taskbench",
         }

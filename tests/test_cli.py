@@ -12,8 +12,10 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "dardel" in out and "vera" in out
-        assert "syncbench" in out
-        assert "table2" in out and "figure7" in out
+        assert "syncbench" in out and "taskbench" in out
+        assert "table2" in out and "figure7" in out and "figure8" in out
+        # the registry's one-line description is shown next to each name
+        assert "work-stealing" in out
 
 
 class TestPlatform:
@@ -85,3 +87,24 @@ class TestRun:
         ])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_run_taskbench_with_params(self, capsys):
+        rc = main([
+            "run", "--platform", "toy", "--benchmark", "taskbench",
+            "--threads", "4", "--runs", "2", "--reps", "3",
+            "--noise", "quiet",
+            "--param", "grainsize=4", "--param", "total_iters=64",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "taskloop_g4" in out
+        assert "work-stealing scheduler metrics" in out
+        assert "fail rate" in out
+
+    def test_bad_param_returns_one(self, capsys):
+        rc = main([
+            "run", "--platform", "toy", "--benchmark", "taskbench",
+            "--threads", "2", "--runs", "1", "--param", "grainsize",
+        ])
+        assert rc == 1
+        assert "KEY=VALUE" in capsys.readouterr().err

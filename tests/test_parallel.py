@@ -110,6 +110,17 @@ class TestResultCache:
         assert again.to_dict() == result.to_dict()
         assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
 
+    def test_round_trip_with_tuple_params(self, tmp_path):
+        """Tuple-valued benchmark params must survive the JSON round trip:
+        a replayed result compares equal to the fresh one via to_dict()."""
+        cache = ResultCache(tmp_path)
+        cfg = _cfg(benchmark_params={"outer_reps": 3, "constructs": ("barrier",)})
+        first = Runner(cfg).run()
+        cache.put(first)
+        again = cache.get(cfg)
+        assert again is not None
+        assert again.to_dict() == first.to_dict()
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         cfg = _cfg()
@@ -184,6 +195,8 @@ class TestExperimentsThroughParallelPath:
         "figure5": dict(runs=1, outer_reps=2, num_times=2),
         "figure6": dict(runs=1, outer_reps=2),
         "figure7": dict(runs=1, outer_reps=2),
+        "figure8": dict(runs=1, outer_reps=2, threads=(2, 4), grainsizes=(4,),
+                        noise_profiles=("default",), total_iters=64),
     }
 
     @pytest.mark.parametrize("name", sorted(experiments.ALL_EXPERIMENTS))

@@ -116,6 +116,37 @@ class TestEngineScheduling:
         eng.run()
         assert eng.events_executed == 3
 
+    def test_lifetime_event_cap(self):
+        eng = Engine(max_events=100)
+
+        def rearm():
+            eng.schedule_after(1.0, rearm)
+
+        eng.schedule_at(0.0, rearm)
+        with pytest.raises(SimulationError, match="event cap"):
+            eng.run()
+        assert eng.events_executed == 100
+
+    def test_lifetime_cap_spans_run_calls(self):
+        """The cap is cumulative over the engine's life, not per run()."""
+        eng = Engine(max_events=3)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            eng.schedule_at(t, lambda: None)
+        eng.run(until=2.5)  # 2 events
+        with pytest.raises(SimulationError, match="event cap"):
+            eng.run()  # the 4th event trips the cap
+
+    def test_uncapped_engine_unaffected(self):
+        eng = Engine()
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule_at(t, lambda: None)
+        eng.run()
+        assert eng.clock.now == 3.0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(max_events=0)
+
 
 class TestProcesses:
     def test_periodic_process(self):
