@@ -1,0 +1,63 @@
+"""Runtime compare: vendor (libgomp/libomp) x wait-policy x threads.
+
+Checks the vendor subsystem's qualitative shape:
+
+* libomp's hyper barrier needs fewer serialized transfer rounds than
+  libgomp's centralized gather-release, so its barrier overhead is
+  measurably cheaper at the widest teams (>= 64 threads on Dardel);
+* the distributed barrier also spreads line contention, so llvm's barrier
+  CV runs below gnu's at the same width;
+* passive waiting pays the scheduler wakeup path on every fork and
+  barrier release: uniformly slower than active spinning for these
+  fork/barrier-bound microbenchmarks, on every platform and team size.
+"""
+
+from conftest import run_once
+from repro.harness import experiments
+
+DARDEL_THREADS = (16, 64, 128)
+VERA_THREADS = (8, 16, 30)
+
+
+def test_runtime_compare(benchmark, scale, seed):
+    art = run_once(
+        benchmark,
+        experiments.runtime_compare,
+        runs=scale["runs"],
+        outer_reps=scale["reps"],
+        seed=seed,
+        dardel_threads=DARDEL_THREADS,
+        vera_threads=VERA_THREADS,
+        runtimes=("gnu", "llvm"),
+        wait_policies=("active", "passive"),
+    )
+    print()
+    print(art.render())
+
+    d = art.data
+
+    # the vendors' barrier algorithms diverge with the team size: at >= 64
+    # threads the hyper barrier is measurably cheaper and steadier
+    for n in (64, 128):
+        gnu = d[f"dardel/gnu/active/n{n}"]
+        llvm = d[f"dardel/llvm/active/n{n}"]
+        assert llvm["barrier_us"] < 0.95 * gnu["barrier_us"]
+        assert llvm["barrier_cv"] < gnu["barrier_cv"]
+
+    # the gap widens with the team (rounds saved grow with log n)
+    gap = {
+        n: d[f"dardel/gnu/active/n{n}"]["barrier_us"]
+        - d[f"dardel/llvm/active/n{n}"]["barrier_us"]
+        for n in DARDEL_THREADS
+    }
+    assert gap[128] > gap[16]
+
+    # passive waiting pays the wakeup path on every fork/barrier: slower
+    # than active spinning in every configuration, for both vendors
+    for platform, threads in (("dardel", DARDEL_THREADS), ("vera", VERA_THREADS)):
+        for rt in ("gnu", "llvm"):
+            for n in threads:
+                active = d[f"{platform}/{rt}/active/n{n}"]
+                passive = d[f"{platform}/{rt}/passive/n{n}"]
+                assert passive["barrier_us"] > 2 * active["barrier_us"]
+                assert passive["parallel_us"] > active["parallel_us"]

@@ -14,7 +14,11 @@ Quickstart
 >>> print(result.render())                                    # doctest: +SKIP
 """
 
-__version__ = "1.1.0"
+#: Bumped to 1.2.0 by the runtime-vendor subsystem: `ExperimentConfig` grew
+#: ``runtime`` / ``wait_policy`` fields (part of the cache key), so every
+#: pre-1.2 cache entry is invalidated rather than replayed against the new
+#: semantics.
+__version__ = "1.2.0"
 
 # Public API is re-exported lazily to keep `import repro` cheap and to avoid
 # import cycles while subpackages are loaded on demand.
@@ -31,6 +35,10 @@ _LAZY_ATTRS = {
     "RngFactory": ("repro.rng", "RngFactory"),
     "OMPEnvironment": ("repro.omp", "OMPEnvironment"),
     "OpenMPRuntime": ("repro.omp", "OpenMPRuntime"),
+    "RuntimeProfile": ("repro.omp", "RuntimeProfile"),
+    "WaitPolicy": ("repro.omp", "WaitPolicy"),
+    "get_runtime_profile": ("repro.omp", "get_runtime_profile"),
+    "available_runtimes": ("repro.omp", "available_runtimes"),
     "Task": ("repro.omp.tasking", "Task"),
     "TaskCostParams": ("repro.omp.tasking", "TaskCostParams"),
     "WorkStealingScheduler": ("repro.omp.tasking", "WorkStealingScheduler"),

@@ -26,6 +26,13 @@ read the work-stealing metrics next to the variability report::
     repro-omp run --platform vera --benchmark taskbench --threads 16 \
         --noise quiet --param pattern=fib --param fib_n=14
 
+Compare runtime vendors (see docs/runtimes.md), or run one configuration
+under LLVM libomp with passive waiters::
+
+    repro-omp experiment runtime_compare --jobs 0
+    repro-omp run --platform dardel --benchmark syncbench --threads 128 \
+        --runtime llvm --wait-policy passive
+
 Show a platform description::
 
     repro-omp platform dardel
@@ -47,6 +54,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.parallel import ParallelRunner
 from repro.harness.report import render_tasking_summary, split_tasking_labels
+from repro.omp.vendor import available_runtimes, get_runtime_profile
 from repro.platform import available_platforms, get_platform
 
 
@@ -111,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--noise", default="default", choices=["default", "quiet"],
                        help="OS-noise profile (quiet = noise sources ablated)")
+    p_run.add_argument("--runtime", default="gnu", choices=available_runtimes(),
+                       help="OpenMP implementation vendor profile "
+                            "(gnu = GCC libgomp, llvm = LLVM libomp)")
+    p_run.add_argument("--wait-policy", dest="wait_policy", default=None,
+                       choices=["active", "passive"],
+                       help="OMP_WAIT_POLICY override (default: vendor's policy)")
     p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                        help="extra benchmark parameter (repeatable), e.g. "
                             "--param pattern=fib --param fib_n=14")
@@ -138,6 +152,10 @@ def _parse_param(item: str) -> tuple[str, object]:
 def _cmd_list() -> int:
     print("platforms:  ", ", ".join(available_platforms()))
     print("benchmarks: ", ", ".join(available_benchmarks()))
+    print("runtimes:   ", ", ".join(
+        f"{name} ({get_runtime_profile(name).vendor})"
+        for name in available_runtimes()
+    ))
     print("experiments:")
     width = max(len(name) for name in EXPERIMENTS)
     for name in available_experiments():
@@ -187,6 +205,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runs=args.runs,
         seed=args.seed,
         noise=args.noise,
+        runtime=args.runtime,
+        wait_policy=args.wait_policy,
         benchmark_params=params,
         freq_logging=args.freq_log,
     )

@@ -155,6 +155,7 @@ class FrequencyModel:
         active_cpus: Sequence[int],
         governor: Governor,
         rng: np.random.Generator,
+        machine_wide: bool = False,
     ) -> FrequencyPlan:
         """Generate traces for ``[window_start, window_end)``.
 
@@ -163,18 +164,34 @@ class FrequencyModel:
         process runs in cross-NUMA mode.  Traces extend past *window_end*
         (the last segment holds), so queries slightly beyond the horizon are
         safe.
+
+        *machine_wide* realizes the plan's stochastic triggers for the whole
+        machine rather than just the sockets currently hosting work: dips
+        and derate episodes are sampled on every socket, every CPU gets the
+        busy steady-state target, and the dip process runs in cross-NUMA
+        mode whenever the machine spans more than one NUMA domain.  Used
+        for unbound teams, whose placement migrates during the run — the
+        boost *limit* still follows the team's active-core count, but the
+        triggers must not be anchored to the initial placement.
         """
         if window_end <= window_start:
             raise FrequencyError("empty frequency window")
         machine, spec = self.machine, self.spec
         active = list(dict.fromkeys(active_cpus))
         active_cores = machine.cores_spanned(active) if active else 0
-        cross_numa = machine.numa_span(active) > 1 if active else False
-        busy_set = set(active)
+        if machine_wide:
+            cross_numa = machine.numa_span(range(machine.n_cpus)) > 1
+            busy_set = set(range(machine.n_cpus))
+        else:
+            cross_numa = machine.numa_span(active) > 1 if active else False
+            busy_set = set(active)
 
-        socket_ids = tuple(
-            sorted({machine.hwthread(c).socket_id for c in active})
-        ) or tuple(s.socket_id for s in machine.sockets)
+        if machine_wide:
+            socket_ids = tuple(s.socket_id for s in machine.sockets)
+        else:
+            socket_ids = tuple(
+                sorted({machine.hwthread(c).socket_id for c in active})
+            ) or tuple(s.socket_id for s in machine.sockets)
         occupancy = (active_cores / machine.n_cores) if active else None
         dips = spec.dips.sample(
             window_start, window_end, socket_ids, cross_numa, rng,

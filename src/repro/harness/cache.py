@@ -14,10 +14,17 @@ is a SHA-256 hash over three components:
 * a cache schema version (:data:`CACHE_SCHEMA_VERSION`) — bumped whenever
   the on-disk layout itself changes.
 
+The key encoding is *strict*: a config whose ``to_dict()`` payload is not
+JSON-serializable raises :class:`~repro.errors.HarnessError` instead of
+silently hashing a ``repr`` (which can embed per-process memory addresses
+and would yield a fresh key — and a fresh cache entry — every process).
+
 Entries are single JSON files named ``<key>.json`` produced by
 :meth:`ExperimentResult.to_dict`, written atomically (temp file +
 ``os.replace``) so a crashed writer never leaves a truncated entry behind.
-Corrupt or unreadable entries are treated as misses and deleted.
+Corrupt or unreadable entries are treated as misses and deleted; stale
+``<key>.json.tmp.<pid>`` files from crashed writers are swept on init and
+on :meth:`ResultCache.clear`.
 
 The cache keeps ``hits`` / ``misses`` / ``stores`` counters so callers (and
 tests) can assert that a warmed cache performs zero new simulation runs.
@@ -40,6 +47,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "cache_key"]
 
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with *pid* currently exists (POSIX signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but isn't ours
+    return True
+
 #: Bump when the on-disk entry layout changes (invalidates all entries).
 CACHE_SCHEMA_VERSION = 1
 
@@ -56,7 +74,16 @@ def cache_key(config: "ExperimentConfig") -> str:
         "code_version": _code_version,
         "cache_schema": CACHE_SCHEMA_VERSION,
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    try:
+        # strict encoding: a repr/str fallback would silently hash transient
+        # values (e.g. object reprs embedding memory addresses), producing a
+        # different key in every process and an unbounded cache
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise HarnessError(
+            f"config {config.display_label!r} is not cacheable: "
+            f"to_dict() contains a non-JSON-serializable value ({exc})"
+        ) from exc
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -78,6 +105,40 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.sweep_stale_tmp()
+
+    # -- tmp hygiene ---------------------------------------------------------
+
+    def _tmp_files(self):
+        return self.cache_dir.glob("*.json.tmp.*")
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove tmp entries left behind by crashed writers.
+
+        :meth:`put` writes ``<key>.json.tmp.<pid>`` and renames it into
+        place; a writer that dies in between leaks the tmp file forever
+        (entry globs only see ``*.json``).  A tmp file is stale when its
+        owning process is gone (or its name carries no parseable pid);
+        tmps of live pids — including this process's own — are spared, as
+        deleting one would crash that writer's rename.  Called on init and
+        by :meth:`clear`.  (A recycled pid can make a dead writer's tmp
+        look alive; such a file persists until that pid exits and the next
+        sweep runs — delete the cache directory to force the issue.)
+        """
+        removed = 0
+        for tmp in self._tmp_files():
+            pid_text = tmp.name.rsplit(".", 1)[-1]
+            try:
+                pid = int(pid_text)
+            except ValueError:
+                pid = None
+            if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                continue  # a live writer may still rename it into place
+            if pid == os.getpid():
+                continue  # our own in-flight write
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        return removed
 
     # -- key/path ---------------------------------------------------------------
 
@@ -112,21 +173,32 @@ class ResultCache:
         path = self.path_for(result.config)
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         tmp.write_text(json.dumps(result.to_dict()))
-        os.replace(tmp, path)
+        try:
+            os.replace(tmp, path)
+        except FileNotFoundError as exc:
+            # another process swept our tmp out from under us (it should
+            # spare live pids, but be robust against older/foreign sweepers)
+            raise HarnessError(
+                f"cache tmp file {tmp} vanished before commit: {exc}"
+            ) from exc
         self.stores += 1
         return path
 
     # -- maintenance --------------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and stale tmp files); returns the number of
+        *entries* removed.  A live concurrent writer's in-flight tmp is
+        spared — deleting it would crash that writer's rename."""
         removed = 0
         for entry in self.cache_dir.glob("*.json"):
             entry.unlink(missing_ok=True)
             removed += 1
+        self.sweep_stale_tmp()
         return removed
 
     def __len__(self) -> int:
+        """Number of committed entries (in-flight tmp files never count)."""
         return sum(1 for _ in self.cache_dir.glob("*.json"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

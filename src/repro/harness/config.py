@@ -7,6 +7,7 @@ from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 from repro.omp.env import OMPEnvironment
+from repro.omp.vendor import WaitPolicy, get_runtime_profile
 from repro.types import ProcBind, ScheduleKind
 
 
@@ -46,6 +47,13 @@ class ExperimentConfig:
         OS-noise profile selector: ``"default"`` uses the platform's
         calibrated profile, ``"quiet"`` ablates all noise sources (the
         experiment drivers sweep this to attribute variability).
+    runtime:
+        OpenMP implementation vendor profile (``"gnu"`` = GCC libgomp, the
+        historical default; ``"llvm"`` = LLVM libomp); see
+        :mod:`repro.omp.vendor`.
+    wait_policy:
+        ``OMP_WAIT_POLICY`` override (``"active"`` / ``"passive"``);
+        ``None`` keeps the vendor's default.
     freq_logging / logger_cpu:
         Run the frequency logger on a (spare) CPU during every run.
     label:
@@ -63,6 +71,8 @@ class ExperimentConfig:
     seed: int = 42
     benchmark_params: Mapping[str, Any] = field(default_factory=dict)
     noise: str = "default"
+    runtime: str = "gnu"
+    wait_policy: str | None = None
     freq_logging: bool = False
     logger_cpu: int | None = None
     label: str | None = None
@@ -84,6 +94,19 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"bad noise profile {self.noise!r}; choose 'default' or 'quiet'"
             )
+        # normalize case before validation so 'GNU' and 'gnu' are the same
+        # config (and the same cache key)
+        object.__setattr__(self, "runtime", self.runtime.lower())
+        get_runtime_profile(self.runtime)  # raises on unknown vendors
+        if self.wait_policy is not None:
+            object.__setattr__(self, "wait_policy", self.wait_policy.lower())
+            try:
+                WaitPolicy(self.wait_policy)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad wait_policy {self.wait_policy!r}; choose from "
+                    f"{sorted(p.value for p in WaitPolicy)}"
+                ) from None
 
     # -- derived ---------------------------------------------------------------
 
@@ -92,10 +115,16 @@ class ExperimentConfig:
         if self.label:
             return self.label
         bind = self.proc_bind if self.proc_bind != "false" else "unbound"
+        runtime = "" if self.runtime == "gnu" else f" rt={self.runtime}"
+        policy = "" if self.wait_policy is None else f" wait={self.wait_policy}"
         return (
             f"{self.benchmark}@{self.platform} n={self.num_threads} "
-            f"{bind} seed={self.seed}"
+            f"{bind}{runtime}{policy} seed={self.seed}"
         )
+
+    def runtime_profile(self):
+        """The resolved vendor profile (before env wait-policy overrides)."""
+        return get_runtime_profile(self.runtime)
 
     def omp_environment(self) -> OMPEnvironment:
         return OMPEnvironment(
@@ -104,6 +133,9 @@ class ExperimentConfig:
             proc_bind=ProcBind(self.proc_bind),
             schedule=ScheduleKind(self.schedule),
             schedule_chunk=self.schedule_chunk,
+            wait_policy=(
+                None if self.wait_policy is None else WaitPolicy(self.wait_policy)
+            ),
         )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -122,6 +154,8 @@ class ExperimentConfig:
             "seed": self.seed,
             "benchmark_params": _jsonify(dict(self.benchmark_params)),
             "noise": self.noise,
+            "runtime": self.runtime,
+            "wait_policy": self.wait_policy,
             "freq_logging": self.freq_logging,
             "logger_cpu": self.logger_cpu,
             "label": self.label,

@@ -31,6 +31,9 @@ figure5   ST vs MT on Dardel (schedbench@128, syncbench@32, stream@128)
 figure6   Vera schedbench, 16 cores on 1 vs 2 NUMA domains + freq traces
 figure7   Vera syncbench, same configurations
 figure8   taskbench work-stealing, threads x grainsize x noise on Vera
+
+runtime_compare  vendor (libgomp/libomp) x wait-policy x threads, both
+                 platforms — an open-comparison scenario beyond the paper
 ========  ==================================================================
 
 Drivers register themselves through the :func:`experiment` decorator; the
@@ -914,6 +917,147 @@ def figure8(
     return ExperimentArtifact(
         name="figure8",
         description="work-stealing tasking: variability vs grainsize and noise",
+        sections=tuple(sections),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runtime comparison — vendor profiles x wait policies (beyond the paper)
+# ---------------------------------------------------------------------------
+
+@experiment("Runtime compare: vendor (gnu/llvm) x wait-policy x threads, "
+            "both platforms")
+def runtime_compare(
+    runs: int = 10,
+    outer_reps: int = 50,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (16, 64, 128),
+    vera_threads: Sequence[int] = (8, 16, 30),
+    runtimes: Sequence[str] = ("gnu", "llvm"),
+    wait_policies: Sequence[str] = ("active", "passive"),
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> ExperimentArtifact:
+    """Sweep runtime vendor x wait policy x threads on both platforms.
+
+    Runs syncbench's BARRIER and PARALLEL micro-benchmarks — the two
+    constructs whose costs are pure runtime policy — under every
+    (vendor, wait-policy) combination.  The qualitative expectations
+    (asserted by ``benchmarks/bench_runtime_compare.py``):
+
+    * the vendors' barrier algorithms diverge with the team size: libomp's
+      hyper barrier needs fewer serialized rounds than libgomp's
+      centralized gather-release at >= 64 threads;
+    * passive waiting pays the scheduler wakeup path on every fork and
+      barrier release, so it is uniformly slower than active spinning for
+      these fork/barrier-bound microbenchmarks;
+    * the vendor's contention-jitter scale shows up as a CV difference,
+      not just a mean shift.
+    """
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    combos = [
+        (platform, rt, wp, threads)
+        for platform, sweep in sweeps
+        for rt in runtimes
+        for wp in wait_policies
+        for threads in sweep
+    ]
+    configs = [
+        ExperimentConfig(
+            platform=platform,
+            benchmark="syncbench",
+            num_threads=threads,
+            places=_thread_places(platform, threads),
+            proc_bind="close",
+            runs=runs,
+            seed=seed,
+            runtime=rt,
+            wait_policy=wp,
+            benchmark_params={
+                "outer_reps": outer_reps,
+                "constructs": (
+                    SyncConstruct.BARRIER.value,
+                    SyncConstruct.PARALLEL.value,
+                ),
+            },
+        )
+        for platform, rt, wp, threads in combos
+    ]
+    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+
+    sections: list[tuple[str, str]] = []
+    data: dict[str, Any] = {}
+    for platform, sweep in sweeps:
+        for wp in wait_policies:
+            rows = []
+            for threads in sweep:
+                row: list[object] = [threads]
+                for rt in runtimes:
+                    result = by_combo[(platform, rt, wp, threads)]
+                    barrier = result.runs_matrix(
+                        f"{SyncConstruct.BARRIER.value}.overhead"
+                    )
+                    par = result.runs_matrix(
+                        f"{SyncConstruct.PARALLEL.value}.overhead"
+                    )
+                    pooled = summarize(barrier.ravel())
+                    entry = {
+                        "barrier_us": to_us(pooled.mean),
+                        "barrier_cv": pooled.cv,
+                        "barrier_norm_max": pooled.norm_max,
+                        "parallel_us": to_us(float(par.mean())),
+                    }
+                    data[f"{platform}/{rt}/{wp}/n{threads}"] = entry
+                    row.extend(
+                        [
+                            f"{entry['barrier_us']:.2f}",
+                            f"{entry['barrier_cv']:.4f}",
+                            f"{entry['parallel_us']:.2f}",
+                        ]
+                    )
+                rows.append(row)
+            headers = ["threads"] + [
+                f"{rt} {col}"
+                for rt in runtimes
+                for col in ("barrier us", "CV", "parallel us")
+            ]
+            sections.append(
+                (
+                    f"{platform}, OMP_WAIT_POLICY={wp}",
+                    render_table(headers, rows),
+                )
+            )
+
+    # headline: the vendor gap at the widest team of each platform
+    if len(runtimes) >= 2:
+        rows = []
+        wp0 = wait_policies[0]
+        for platform, sweep in sweeps:
+            n_max = max(sweep)
+            base = data[f"{platform}/{runtimes[0]}/{wp0}/n{n_max}"]
+            for rt in runtimes[1:]:
+                other = data[f"{platform}/{rt}/{wp0}/n{n_max}"]
+                rows.append(
+                    [
+                        f"{platform}@{n_max}",
+                        f"{runtimes[0]}->{rt}",
+                        f"{other['barrier_us'] / base['barrier_us']:.3f}",
+                        f"{other['barrier_cv'] / base['barrier_cv']:.3f}",
+                    ]
+                )
+        sections.append(
+            (
+                f"vendor gap at the widest team ({wp0} waiters)",
+                render_table(
+                    ["config", "vendors", "barrier time ratio", "CV ratio"], rows
+                ),
+            )
+        )
+    return ExperimentArtifact(
+        name="runtime_compare",
+        description="OpenMP implementation fingerprints: barrier algorithm "
+                    "and wait policy drive cost and variability",
         sections=tuple(sections),
         data=data,
     )

@@ -34,7 +34,10 @@ class Runner:
         if config.noise == "quiet":
             self.platform = self.platform.quiet()
         self.env = config.omp_environment()
-        self.runtime = OpenMPRuntime(self.platform, self.env)
+        # vendor profile from the config; env carries wait-policy overrides
+        self.runtime = OpenMPRuntime(
+            self.platform, self.env, profile=config.runtime_profile()
+        )
         self.rng_factory = RngFactory(config.seed).child(
             config.platform, config.benchmark, config.num_threads, config.proc_bind
         )

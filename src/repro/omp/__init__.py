@@ -10,8 +10,10 @@ Implements the runtime mechanisms the paper's benchmarks exercise:
 * :mod:`repro.omp.schedule` — worksharing-loop schedules
   (static/dynamic/guided with chunk sizes) including the central-queue
   contention model behind schedbench's ``dynamic_1`` numbers;
+* :mod:`repro.omp.vendor` — runtime-vendor profiles (GCC libgomp vs LLVM
+  libomp): barrier algorithms, wait policies, per-vendor constant scales;
 * :mod:`repro.omp.constructs` — cost models for every synchronization
-  construct syncbench measures;
+  construct syncbench measures, parameterized by the vendor profile;
 * :mod:`repro.omp.region` — the parallel-region executor combining work,
   frequency traces, OS noise, SMT sharing and scheduler behaviour;
 * :mod:`repro.omp.tasking` — the explicit-tasking runtime: per-thread
@@ -22,6 +24,14 @@ Implements the runtime mechanisms the paper's benchmarks exercise:
 
 from repro.omp.env import OMPEnvironment
 from repro.omp.places import Place, parse_places
+from repro.omp.vendor import (
+    BarrierAlgorithm,
+    RuntimeProfile,
+    WaitPolicy,
+    available_runtimes,
+    default_profile,
+    get_runtime_profile,
+)
 from repro.omp.proc_bind import assign_cpus, bind_threads
 from repro.omp.team import Team
 from repro.omp.schedule import LoopPlan, ScheduleCostParams, plan_loop
@@ -41,6 +51,12 @@ __all__ = [
     "OMPEnvironment",
     "Place",
     "parse_places",
+    "BarrierAlgorithm",
+    "RuntimeProfile",
+    "WaitPolicy",
+    "available_runtimes",
+    "default_profile",
+    "get_runtime_profile",
     "bind_threads",
     "assign_cpus",
     "Team",

@@ -26,6 +26,15 @@ multiplied by :attr:`SyncCostParams.smt_sync_factor` and the jitter sigma
 gains :attr:`SyncCostParams.smt_jitter_boost` — spin-waiting on a sibling
 hardware thread steals issue slots from the thread doing useful work,
 which is the mechanism behind the CV blow-up in Figure 5e.
+
+Vendor profiles (:mod:`repro.omp.vendor`) parameterize the model per
+runtime implementation: the barrier transfer-round count comes from the
+profile's barrier algorithm, fork/handoff constants are scaled by the
+profile, and the wait policy decides whether waiters spin (paying the SMT
+penalties above) or sleep (paying the scheduler wakeup path from
+:func:`repro.sched.model.wakeup_path_cost` on every fork and barrier
+release instead).  The default profile (GCC libgomp, active waiters)
+reproduces the historical formulas exactly.
 """
 
 from __future__ import annotations
@@ -37,6 +46,9 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.omp.team import Team
+from repro.omp.vendor import RuntimeProfile, default_profile
+from repro.sched.model import wakeup_path_cost
+from repro.sched.params import SchedParams
 from repro.types import SyncConstruct
 from repro.units import ns, us
 
@@ -94,6 +106,15 @@ class ConstructProfile:
     has_barrier: bool = True
 
 
+#: Characteristic wait between useful work that the sleep-vs-spin decision
+#: is evaluated against (seconds): the EPCC suites re-enter a construct
+#: about once per millisecond (``test_time`` cadence), so a passive waiter
+#: with ``KMP_BLOCKTIME`` at or above this gap never actually sleeps — the
+#: reason libomp's 200 ms default makes passive feel active in tight
+#: benchmark loops — while smaller blocktimes sleep proportionally often.
+TYPICAL_REGION_GAP = us(1000.0)
+
+
 CONSTRUCT_PROFILES: dict[SyncConstruct, ConstructProfile] = {
     SyncConstruct.PARALLEL: ConstructProfile(has_fork=True),
     SyncConstruct.FOR: ConstructProfile(),
@@ -109,12 +130,40 @@ CONSTRUCT_PROFILES: dict[SyncConstruct, ConstructProfile] = {
 
 
 class SyncCostModel:
-    """Mean construct costs + jitter for a given team."""
+    """Mean construct costs + jitter for a given team.
 
-    def __init__(self, params: SyncCostParams):
+    Parameters
+    ----------
+    params:
+        Platform-calibrated latency constants.
+    profile:
+        Runtime-vendor profile (barrier algorithm, wait policy, constant
+        scales); defaults to GCC libgomp with active waiters, which leaves
+        every formula at its historical (seed-calibrated) value.
+    sched_params:
+        Scheduler constants for the wakeup path sleeping (passive) waiters
+        pay; defaults to stock :class:`SchedParams`.
+    """
+
+    def __init__(
+        self,
+        params: SyncCostParams,
+        profile: RuntimeProfile | None = None,
+        sched_params: SchedParams | None = None,
+    ):
         self.params = params
+        self.profile = profile if profile is not None else default_profile()
+        self.sched_params = sched_params if sched_params is not None else SchedParams()
+        #: Fraction of waiters asleep when signalled (0 for active spinning;
+        #: graded by the profile's spin-before-sleep threshold against the
+        #: characteristic re-entry cadence of the benchmarks).
+        self.sleep_share = self.profile.sleep_share(TYPICAL_REGION_GAP)
 
     # -- building blocks -----------------------------------------------------
+
+    def _spin_smt_factor(self) -> float:
+        """SMT latency factor, graded by how many waiters actually spin."""
+        return 1.0 + (self.params.smt_sync_factor - 1.0) * (1.0 - self.sleep_share)
 
     def effective_line_latency(self, team: Team) -> float:
         """Distance-weighted cache-line transfer latency for the team."""
@@ -128,16 +177,23 @@ class SyncCostModel:
             + p.line_cross_socket * f_socket
         )
         if team.uses_smt:
-            l_eff *= p.smt_sync_factor
+            # sleeping waiters don't issue spin loads from the sibling
+            l_eff *= self._spin_smt_factor()
         return l_eff
 
     def barrier_cost(self, team: Team) -> float:
-        """One full barrier (tree gather + release)."""
+        """One full barrier (gather + release, per the vendor's algorithm)."""
         n = team.n_threads
         if n == 1:
             return 0.0
-        rounds = 2 * ceil(log2(n))
-        return self.params.barrier_base + rounds * self.effective_line_latency(team)
+        rounds = self.profile.barrier_span(n)
+        cost = self.params.barrier_base + rounds * self.effective_line_latency(team)
+        if self.sleep_share > 0.0:
+            # the release wave must wake sleeping waiters level by level
+            cost += self.sleep_share * wakeup_path_cost(
+                self.sched_params, ceil(log2(n))
+            )
+        return cost
 
     def fork_cost(self, team: Team) -> float:
         """Open a parallel region: wake/signal each worker."""
@@ -145,8 +201,12 @@ class SyncCostModel:
         if n == 1:
             return 0.0
         cost = self.params.fork_base + self.params.fork_per_thread * (n - 1)
+        cost *= self.profile.fork_scale
         if team.uses_smt:
-            cost *= self.params.smt_sync_factor
+            cost *= self._spin_smt_factor()
+        if self.sleep_share > 0.0:
+            # sleeping pool workers each need a full scheduler wakeup
+            cost += self.sleep_share * wakeup_path_cost(self.sched_params, n - 1)
         return cost
 
     def join_cost(self, team: Team) -> float:
@@ -157,8 +217,10 @@ class SyncCostModel:
         n = team.n_threads
         l_eff = self.effective_line_latency(team)
         waiters = max(0, n - 1)
-        return (l_eff + self.params.atomic_rmw) * (
-            1.0 + self.params.lock_handoff_waiter_factor * waiters
+        return (
+            (l_eff + self.params.atomic_rmw)
+            * (1.0 + self.params.lock_handoff_waiter_factor * waiters)
+            * self.profile.handoff_scale
         )
 
     # -- per-construct mean cost ------------------------------------------------
@@ -201,8 +263,10 @@ class SyncCostModel:
     def jitter_sigma(self, team: Team) -> float:
         p = self.params
         sigma = p.jitter_sigma_base + p.jitter_sigma_per_log2n * log2(max(2, team.n_threads))
+        sigma *= self.profile.jitter_scale
         if team.uses_smt:
-            sigma += p.smt_jitter_boost
+            # only spinning waiters perturb their sibling's issue stream
+            sigma += p.smt_jitter_boost * (1.0 - self.sleep_share)
         return sigma
 
     def sample_multiplier(self, team: Team, rng: np.random.Generator) -> float:

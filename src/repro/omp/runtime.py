@@ -28,6 +28,7 @@ from repro.omp.proc_bind import assign_cpus, bind_threads
 from repro.omp.region import RegionExecutor, RegionParams
 from repro.omp.tasking.params import TaskCostModel, TaskCostParams
 from repro.omp.team import Team
+from repro.omp.vendor import RuntimeProfile
 from repro.osnoise.model import NoiseModel, NoiseRealization
 from repro.rng import RngFactory
 from repro.sched.model import ForkOutcome, SchedulerModel
@@ -70,7 +71,13 @@ class RunContext:
         return self.runtime.machine
 
     def refork_unbound(self, rng: np.random.Generator) -> None:
-        """Re-place an unbound team (called per outer repetition)."""
+        """Re-place an unbound team (called per outer repetition).
+
+        The run's noise realization and frequency plan were generated
+        machine-wide for unbound runs (see :meth:`OpenMPRuntime.start_run`),
+        so the re-placed CPUs carry the same noise/frequency processes as
+        the original placement — a reforked team never runs noise-free.
+        """
         if self.team.bound:
             return
         outcome = self.runtime.sched_model.fork_unbound(
@@ -81,16 +88,30 @@ class RunContext:
 
 
 class OpenMPRuntime:
-    """Resolves OMP settings into teams and run contexts for one platform."""
+    """Resolves OMP settings into teams and run contexts for one platform.
 
-    def __init__(self, platform: "Platform", env: OMPEnvironment):
+    *profile* selects the runtime vendor (:mod:`repro.omp.vendor`); it
+    defaults to the platform's preset.  ``OMP_WAIT_POLICY`` /
+    ``KMP_BLOCKTIME`` settings in *env* override the profile's wait policy.
+    """
+
+    def __init__(
+        self,
+        platform: "Platform",
+        env: OMPEnvironment,
+        profile: RuntimeProfile | None = None,
+    ):
         self.platform = platform
         self.env = env
         self.machine = platform.machine
+        base_profile = profile if profile is not None else platform.runtime_profile
+        self.profile = base_profile.with_env(env)
         self.freq_model = FrequencyModel(platform.machine, platform.freq_spec)
         self.noise_model = NoiseModel(platform.machine, platform.noise_profile.sources)
         self.sched_model = SchedulerModel(platform.machine, platform.sched_params)
-        self.sync_cost = SyncCostModel(platform.sync_params)
+        self.sync_cost = SyncCostModel(
+            platform.sync_params, self.profile, platform.sched_params
+        )
         self.task_cost = TaskCostModel(
             getattr(platform, "task_params", None) or TaskCostParams(),
             self.sync_cost,
@@ -151,14 +172,21 @@ class OpenMPRuntime:
             team, fork = self.resolve_unbound_team(run_rng.stream("placement"))
 
         busy = list(dict.fromkeys(list(team.cpus) + list(extra_busy_cpus)))
-        # the frequency plan's boost/dip triggers follow the *team* (the
-        # logger on a spare core must not make a one-NUMA team look
-        # cross-NUMA); noise placement sees every busy CPU
+        # Bound teams: the frequency plan's boost/dip triggers follow the
+        # *team* (the logger on a spare core must not make a one-NUMA team
+        # look cross-NUMA); noise placement sees every busy CPU.
+        # Unbound teams migrate on every refork, so their noise and
+        # frequency-trigger processes are realized machine-wide — otherwise
+        # a re-placed team lands on CPUs with no noise events and dip/derate
+        # processes anchored to the initial placement.
+        unbound = not self.env.bound
         freq_plan = self.freq_model.plan(
-            0.0, horizon, list(team.cpus), self.governor, run_rng.stream("freq")
+            0.0, horizon, list(team.cpus), self.governor, run_rng.stream("freq"),
+            machine_wide=unbound,
         )
+        noise_busy = list(range(self.machine.n_cpus)) if unbound else busy
         noise = self.noise_model.realize(
-            0.0, horizon, busy, run_rng.stream("noise")
+            0.0, horizon, noise_busy, run_rng.stream("noise")
         )
         executor = RegionExecutor(freq_plan, noise, self.platform.region_params)
         return RunContext(

@@ -1,0 +1,292 @@
+"""Runtime-vendor profiles: what makes libgomp behave unlike libomp.
+
+The paper characterizes variability *of the OpenMP runtime*, and a large
+part of a runtime's fingerprint is implementation policy rather than
+hardware: which barrier algorithm it runs, whether waiters spin or sleep,
+and how aggressively the fork path signals workers.  A
+:class:`RuntimeProfile` captures those choices so the same platform can be
+simulated under different runtimes (``--runtime gnu|llvm``) and under
+different wait policies (``OMP_WAIT_POLICY``, ``KMP_BLOCKTIME``).
+
+Modelled axes
+-------------
+
+*Barrier algorithm* — the number of serialized cache-line transfer rounds
+one full barrier costs (:meth:`RuntimeProfile.barrier_span`):
+
+``gather_release``
+    libgomp's centralized gather + release broadcast, modelled as
+    ``2 * ceil(log2 n)`` transfer rounds — the seed model's calibrated
+    shape, kept byte-identical for the default profile.
+``hyper``
+    libomp's hypercube-embedded tree barrier with configurable branching
+    factor (``KMP_*_BARRIER_PATTERN=hyper``): ``ceil(log_b n)`` rounds per
+    phase, each draining ``b - 1`` children whose flag writes partially
+    overlap (:data:`HYPER_CHILD_OVERLAP`).  Fewer rounds at scale than the
+    centralized gather, which is exactly the vendor gap the
+    ``runtime_compare`` experiment measures at >= 64 threads.
+``centralized``
+    a plain counter barrier (every thread RMWs one line, serialized):
+    ``n - 1`` gather handoffs plus a ``ceil(log2 n)`` release broadcast.
+    No preset uses it by default; it exists to model worst-case runtimes
+    and for ablation experiments.
+
+*Wait policy* — ``active`` waiters spin (they steal SMT issue slots and
+contend for lines exactly as the seed model assumed), ``passive`` waiters
+sleep in the kernel after :attr:`RuntimeProfile.spin_before_sleep` seconds
+of spinning (``KMP_BLOCKTIME``).  Sleeping waiters stop paying the SMT
+spin penalties but every signal that reaches them must traverse the
+scheduler wakeup path (see :func:`repro.sched.model.wakeup_path_cost`).
+
+*Constant overrides* — :attr:`fork_scale`, :attr:`handoff_scale` and
+:attr:`jitter_scale` scale the platform's calibrated fork/lock/jitter
+constants per vendor (a distributed barrier spreads contention, so libomp
+gets a slightly lower jitter scale).
+
+The registry (:func:`get_runtime_profile`, :func:`available_runtimes`)
+names two presets: ``gnu`` (GCC libgomp — the default, reproducing the
+seed model exactly) and ``llvm`` (LLVM libomp).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.omp.env import OMPEnvironment
+
+__all__ = [
+    "BarrierAlgorithm",
+    "HYPER_CHILD_OVERLAP",
+    "RuntimeProfile",
+    "WaitPolicy",
+    "available_runtimes",
+    "default_profile",
+    "get_runtime_profile",
+]
+
+
+class WaitPolicy(enum.Enum):
+    """``OMP_WAIT_POLICY``: how threads wait at barriers and between regions."""
+
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+
+class BarrierAlgorithm(enum.Enum):
+    """Barrier implementation families (see module docstring)."""
+
+    GATHER_RELEASE = "gather_release"
+    HYPER = "hyper"
+    CENTRALIZED = "centralized"
+
+
+#: Fraction of a hyper-barrier round's child signals that serialize on the
+#: parent: each round drains ``b - 1`` children but their flag lines arrive
+#: partially overlapped, so the round costs ``1 + OVERLAP * (b - 1)`` line
+#: latencies rather than ``b - 1``.
+HYPER_CHILD_OVERLAP = 0.1
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """One concrete OpenMP implementation's policy fingerprint.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``gnu`` / ``llvm`` / custom).
+    vendor:
+        Human-readable implementation name.
+    barrier_algorithm / barrier_branching:
+        Barrier family and (for ``hyper``) its branching factor.
+    wait_policy:
+        Default ``OMP_WAIT_POLICY`` of this implementation.
+    spin_before_sleep:
+        Seconds a passive waiter spins before sleeping (``KMP_BLOCKTIME``;
+        ``inf`` = spin forever, ``0`` = sleep immediately).
+    fork_scale / handoff_scale:
+        Multipliers on the platform's fork-signalling and lock-handoff
+        constants.
+    jitter_scale:
+        Multiplier on the contention-jitter sigma.
+    """
+
+    name: str
+    vendor: str
+    barrier_algorithm: BarrierAlgorithm = BarrierAlgorithm.GATHER_RELEASE
+    barrier_branching: int = 4
+    wait_policy: WaitPolicy = WaitPolicy.ACTIVE
+    spin_before_sleep: float = math.inf
+    fork_scale: float = 1.0
+    handoff_scale: float = 1.0
+    jitter_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("runtime profile needs a name")
+        if self.barrier_branching < 2:
+            raise ConfigurationError(
+                f"barrier branching factor must be >= 2, got {self.barrier_branching}"
+            )
+        if self.spin_before_sleep < 0:
+            raise ConfigurationError("spin_before_sleep must be non-negative")
+        for field_name in ("fork_scale", "handoff_scale", "jitter_scale"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+
+    # -- wait policy ---------------------------------------------------------
+
+    @property
+    def passive(self) -> bool:
+        return self.wait_policy is WaitPolicy.PASSIVE
+
+    def sleep_share(self, expected_gap: float = math.inf) -> float:
+        """Fraction of waiters asleep when a signal reaches them.
+
+        *expected_gap* is the typical time a thread waits between useful
+        work (e.g. the gap between parallel regions).  Active waiters never
+        sleep.  Passive waiters spin for :attr:`spin_before_sleep` first,
+        so short gaps behave like active waiting and long gaps approach
+        fully-sleeping behaviour:
+
+        >>> p = RuntimeProfile("x", "X", wait_policy=WaitPolicy.PASSIVE,
+        ...                    spin_before_sleep=0.0)
+        >>> p.sleep_share()
+        1.0
+        >>> p2 = replace(p, spin_before_sleep=0.2)
+        >>> p2.sleep_share(expected_gap=0.1)
+        0.0
+        >>> p2.sleep_share(expected_gap=0.8)
+        0.75
+        """
+        if not self.passive:
+            return 0.0
+        if self.spin_before_sleep == 0:
+            return 1.0
+        if math.isinf(self.spin_before_sleep) or expected_gap <= self.spin_before_sleep:
+            return 0.0
+        return 1.0 - self.spin_before_sleep / expected_gap
+
+    # -- barrier shape ---------------------------------------------------------
+
+    def barrier_span(self, n_threads: int) -> float:
+        """Serialized line-transfer rounds of one full barrier for *n* threads."""
+        n = n_threads
+        if n <= 1:
+            return 0.0
+        algo = self.barrier_algorithm
+        if algo is BarrierAlgorithm.GATHER_RELEASE:
+            return 2.0 * math.ceil(math.log2(n))
+        if algo is BarrierAlgorithm.HYPER:
+            b = self.barrier_branching
+            # integer ceil(log_b n): float log-division overcounts a round
+            # at exact powers of non-power-of-2 branchings (e.g. b=5, n=125)
+            rounds, reach = 0, 1
+            while reach < n:
+                reach *= b
+                rounds += 1
+            return 2.0 * rounds * (1.0 + HYPER_CHILD_OVERLAP * (b - 1))
+        if algo is BarrierAlgorithm.CENTRALIZED:
+            return float(n - 1) + math.ceil(math.log2(n))
+        raise ConfigurationError(f"unknown barrier algorithm {algo!r}")
+
+    # -- environment overrides ----------------------------------------------------
+
+    def with_env(self, env: "OMPEnvironment") -> "RuntimeProfile":
+        """Apply ``OMP_WAIT_POLICY`` / ``KMP_BLOCKTIME`` overrides from *env*.
+
+        An explicit ``passive`` request drops the spin threshold to zero
+        (sleep promptly, as ``OMP_WAIT_POLICY=passive`` does in both
+        implementations) unless a blocktime is also given; an explicit
+        ``active`` request spins forever.
+        """
+        wait_policy = getattr(env, "wait_policy", None)
+        blocktime = getattr(env, "blocktime", None)
+        if wait_policy is None and blocktime is None:
+            return self
+        profile = self
+        if wait_policy is not None:
+            spin = 0.0 if wait_policy is WaitPolicy.PASSIVE else math.inf
+            profile = replace(profile, wait_policy=wait_policy, spin_before_sleep=spin)
+        if blocktime is not None:
+            profile = replace(profile, spin_before_sleep=float(blocktime))
+        return profile
+
+    def describe(self) -> str:
+        spin = (
+            "spin forever"
+            if math.isinf(self.spin_before_sleep)
+            else f"spin {self.spin_before_sleep * 1e3:g} ms then sleep"
+        )
+        return (
+            f"{self.vendor}: {self.barrier_algorithm.value} barrier"
+            f"(b={self.barrier_branching}), {self.wait_policy.value} wait ({spin})"
+        )
+
+
+def _gnu_profile() -> RuntimeProfile:
+    """GCC libgomp: centralized gather-release barrier, active spin waiters.
+
+    This is the default and reproduces the seed model's cost formulas
+    exactly (every scale 1.0, ``2 * ceil(log2 n)`` barrier rounds, no
+    sleeping), so pre-vendor experiments are unchanged under it.
+    """
+    return RuntimeProfile(
+        name="gnu",
+        vendor="GCC libgomp",
+        barrier_algorithm=BarrierAlgorithm.GATHER_RELEASE,
+        wait_policy=WaitPolicy.ACTIVE,
+        spin_before_sleep=math.inf,
+    )
+
+
+def _llvm_profile() -> RuntimeProfile:
+    """LLVM libomp: hyper barrier (branching 4), 200 ms blocktime defaults.
+
+    The distributed barrier needs fewer serialized rounds at scale and
+    spreads line contention over the tree, so the fork release and the
+    contention jitter run slightly below the libgomp calibration.
+    """
+    return RuntimeProfile(
+        name="llvm",
+        vendor="LLVM libomp",
+        barrier_algorithm=BarrierAlgorithm.HYPER,
+        barrier_branching=4,
+        wait_policy=WaitPolicy.ACTIVE,
+        spin_before_sleep=0.2,  # KMP_BLOCKTIME default: 200 ms
+        fork_scale=0.9,
+        jitter_scale=0.85,
+    )
+
+
+_PROFILES = {"gnu": _gnu_profile, "llvm": _llvm_profile}
+
+
+def default_profile() -> RuntimeProfile:
+    """The profile assumed when no vendor is selected (GCC libgomp)."""
+    return _gnu_profile()
+
+
+def get_runtime_profile(name: str) -> RuntimeProfile:
+    """Look up a vendor profile by registry name.
+
+    >>> get_runtime_profile("LLVM").barrier_algorithm.value
+    'hyper'
+    """
+    try:
+        factory = _PROFILES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown runtime {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+    return factory()
+
+
+def available_runtimes() -> tuple[str, ...]:
+    return tuple(sorted(_PROFILES))

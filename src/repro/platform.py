@@ -22,6 +22,7 @@ from repro.omp.constructs import SyncCostParams
 from repro.omp.region import RegionParams
 from repro.omp.schedule import ScheduleCostParams
 from repro.omp.tasking.params import TaskCostParams
+from repro.omp.vendor import RuntimeProfile, default_profile, get_runtime_profile
 from repro.osnoise.profiles import NoiseProfile, dardel_noise, quiet_profile, vera_noise
 from repro.sched.params import SchedParams
 from repro.topology.builder import TopologyBuilder
@@ -45,6 +46,7 @@ class Platform:
     sched_cost_params: ScheduleCostParams = field(default_factory=ScheduleCostParams)
     region_params: RegionParams = field(default_factory=RegionParams)
     default_governor: str = "performance"
+    runtime_profile: RuntimeProfile = field(default_factory=default_profile)
 
     def with_noise(self, profile: NoiseProfile) -> "Platform":
         """A copy with a different noise profile (ablations)."""
@@ -54,13 +56,24 @@ class Platform:
         """A noise-free copy (calibration / unit tests)."""
         return self.with_noise(quiet_profile())
 
+    def with_runtime(self, profile: RuntimeProfile | str) -> "Platform":
+        """A copy running a different OpenMP implementation.
+
+        Accepts either a :class:`~repro.omp.vendor.RuntimeProfile` or a
+        registry name (``"gnu"`` / ``"llvm"``).
+        """
+        if isinstance(profile, str):
+            profile = get_runtime_profile(profile)
+        return replace(self, runtime_profile=profile)
+
     def describe(self) -> str:
         return (
             f"{self.machine.summary()}; "
             f"boost {self.freq_spec.calibration_hz / 1e9:.2f} GHz single-core, "
             f"{self.freq_spec.boost.all_core_floor / 1e9:.2f} GHz all-core; "
             f"{self.mem_spec.numa_bw / 1e9:.0f} GB/s per NUMA domain; "
-            f"noise profile '{self.noise_profile.name}'"
+            f"noise profile '{self.noise_profile.name}'; "
+            f"runtime {self.runtime_profile.vendor}"
         )
 
 

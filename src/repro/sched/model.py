@@ -24,6 +24,21 @@ from repro.sched.wakeup import WakeupPlacer
 from repro.topology.hwthread import Machine
 
 
+def wakeup_path_cost(params: SchedParams, n_wakes: int) -> float:
+    """Deterministic critical-path cost of *n_wakes* scheduler wakeups.
+
+    Each wake of a sleeping thread traverses the kernel path a spinning
+    waiter avoids: futex wake, IPI to the idle CPU, idle-state exit —
+    the mean of the per-fork wake draw (:attr:`SchedParams.wake_ipi_cost`).
+    Passive-wait-policy runtimes pay this on every signal that reaches a
+    sleeping waiter (region fork, barrier release); see
+    :class:`repro.omp.constructs.SyncCostModel`.
+    """
+    if n_wakes <= 0:
+        return 0.0
+    return params.wake_ipi_cost * n_wakes
+
+
 @dataclass(frozen=True)
 class ForkOutcome:
     """Placement and wake costs of one parallel-region fork."""

@@ -233,6 +233,33 @@ class TestFrequencyModel:
         with pytest.raises(FrequencyError):
             simple_spec(base_hz=ghz(3.5))  # above single-core boost
 
+    def test_machine_wide_plan_samples_dips_on_every_socket(self, machine):
+        """machine_wide=True (unbound teams): dip/derate triggers must not be
+        anchored to the initial placement's sockets."""
+        spec = simple_spec(
+            dips=DipProcess(base_rate=40.0, duration_median=0.01,
+                            depth_low=0.7, depth_high=0.8)
+        )
+        model = FrequencyModel(machine, spec)
+        # team only on socket 0 (cpus 0-3); machine-wide triggers still
+        # reach socket 1
+        plan = model.plan(
+            0.0, 3.0, [0, 1], PerformanceGovernor(),
+            RngFactory(4).stream("freq"), machine_wide=True,
+        )
+        assert {d.socket_id for d in plan.dips} == {0, 1}
+
+    def test_machine_wide_keeps_team_boost_limit(self, machine):
+        """The boost limit still follows the team's active-core count."""
+        model = FrequencyModel(machine, simple_spec())
+        plan = model.plan(
+            0.0, 1.0, [0, 1], PerformanceGovernor(),
+            RngFactory(1).stream("freq"), machine_wide=True,
+        )
+        # 2 active cores -> 3.0 GHz everywhere, not the 8-core 2.2 GHz floor
+        assert plan.freq_at(0, 0.5) == pytest.approx(ghz(3.0))
+        assert plan.freq_at(7, 0.5) == pytest.approx(ghz(3.0))
+
 
 class TestSysfs:
     def test_read_paths(self, machine):

@@ -118,6 +118,44 @@ class TestRunContext:
         with pytest.raises(ConfigurationError):
             self.make_runtime().start_run(0, RngFactory(2), 0.0)
 
+    def test_reforked_cpus_see_noise(self):
+        """Regression: an unbound run's noise is realized machine-wide, so
+        a reforked team never lands on noise-free CPUs (previously the
+        realization only covered the *initial* placement)."""
+        rt = OpenMPRuntime(toy(), OMPEnvironment(num_threads=6))
+        ctx = rt.start_run(0, RngFactory(2), horizon=1.0)
+        rng = RngFactory(3).stream("reforks")
+        seen_cpus = set()
+        for _ in range(20):
+            ctx.refork_unbound(rng)
+            seen_cpus.update(ctx.team.cpus)
+            for cpu in ctx.team.cpus:
+                # toy's tick source fires 250/s on every (machine-wide
+                # busy) CPU: one simulated second cannot be silent
+                assert not ctx.noise.stolen_on(cpu).is_empty(), (
+                    f"reforked cpu {cpu} has no noise events"
+                )
+        assert len(seen_cpus) > 6  # reforks actually moved the team
+
+    def test_unbound_noise_covers_whole_machine(self):
+        rt = OpenMPRuntime(toy(), OMPEnvironment(num_threads=2))
+        ctx = rt.start_run(0, RngFactory(2), horizon=1.0)
+        machine = rt.machine
+        assert all(
+            not ctx.noise.stolen_on(cpu).is_empty()
+            for cpu in range(machine.n_cpus)
+        )
+
+    def test_bound_noise_still_placement_scoped(self):
+        """Bound teams keep the historical team-scoped realization."""
+        rt = self.make_runtime()  # bound, cpus 0-3
+        ctx = rt.start_run(0, RngFactory(2), horizon=1.0)
+        # ticks fire on busy CPUs only; cpu 7 hosts no benchmark thread
+        kinds_off_team = {
+            e.kind for e in ctx.noise.events if e.cpu == 7
+        }
+        assert "tick" not in kinds_off_team
+
 
 class TestPlatformPresets:
     def test_available(self):

@@ -97,6 +97,18 @@ class TestCacheKey:
             base.with_overrides(benchmark_params={"outer_reps": 7})
         )
 
+    def test_unencodable_value_raises_instead_of_hashing_repr(self):
+        """Regression: a non-JSON value used to be hashed via repr(), which
+        can embed a memory address -> a different key every process."""
+        from repro.errors import HarnessError
+
+        class Opaque:
+            pass
+
+        cfg = _cfg(benchmark_params={"outer_reps": 3, "payload": Opaque()})
+        with pytest.raises(HarnessError, match="not cacheable"):
+            cache_key(cfg)
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
@@ -134,6 +146,37 @@ class TestResultCache:
         cache.put(Runner(_cfg(seed=99)).run())
         assert len(cache) == 2
         assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_stale_tmp_swept_on_init(self, tmp_path):
+        """Regression: tmp files from crashed writers leaked forever."""
+        dead = (tmp_path / "abc.json.tmp.999999999")  # pid can't exist
+        dead.write_text("{}")
+        unparseable = tmp_path / "def.json.tmp.notapid"
+        unparseable.write_text("{}")
+        cache = ResultCache(tmp_path)
+        assert not dead.exists()
+        assert not unparseable.exists()
+        assert len(cache) == 0
+
+    def test_live_writer_tmp_never_deleted(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put(Runner(_cfg()).run())
+        # a tmp owned by a live foreign writer (simulated with our parent's
+        # pid) survives the sweep...
+        live = tmp_path / f"ghi.json.tmp.{os.getppid()}"
+        live.write_text("{}")
+        dead = tmp_path / "jkl.json.tmp.999999999"
+        dead.write_text("{}")
+        assert cache.sweep_stale_tmp() == 1  # only the dead writer's tmp
+        assert live.exists() and not dead.exists()
+        assert len(cache) == 1  # tmp files never count as entries
+        # clear() removes entries but spares the live writer's in-flight
+        # tmp (deleting it would crash that writer's rename)
+        assert cache.clear() == 1
+        assert live.exists()
         assert len(cache) == 0
 
     def test_second_invocation_served_without_simulation(self, tmp_path, monkeypatch):
@@ -197,6 +240,10 @@ class TestExperimentsThroughParallelPath:
         "figure7": dict(runs=1, outer_reps=2),
         "figure8": dict(runs=1, outer_reps=2, threads=(2, 4), grainsizes=(4,),
                         noise_profiles=("default",), total_iters=64),
+        "runtime_compare": dict(runs=1, outer_reps=2,
+                                dardel_threads=(2,), vera_threads=(2,),
+                                runtimes=("gnu", "llvm"),
+                                wait_policies=("active",)),
     }
 
     @pytest.mark.parametrize("name", sorted(experiments.ALL_EXPERIMENTS))
