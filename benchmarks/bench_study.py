@@ -1,0 +1,71 @@
+"""Study-driven sweep: barrier cost/variability vs team size and vendor.
+
+Exercises the declarative sweep path end-to-end — a two-axis grid
+(threads x runtime vendor) over syncbench's barrier on Vera, executed
+through ``Study.run`` (the same ``Sweep`` backend as the drivers) — and
+asserts the qualitative shape through the tidy-result accessors:
+
+* barrier cost grows with the team size (pooled per-thread-count means
+  are ordered);
+* libomp's hyper barrier does not lose to libgomp's centralized
+  gather-release at the widest team;
+* the tidy record export carries one row per config x run x label.
+"""
+
+from conftest import run_once
+from repro.harness import ExperimentConfig, Study
+
+THREADS = (2, 8, 16, 30)
+RUNTIMES = ("gnu", "llvm")
+
+
+def _sweep(runs=3, outer_reps=15, seed=42, jobs=1, cache=None):
+    study = (
+        Study(
+            ExperimentConfig(
+                platform="vera",
+                benchmark="syncbench",
+                places="cores",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={"outer_reps": outer_reps,
+                                  "constructs": ("barrier",)},
+            ),
+            name="bench-study",
+            description="barrier vs threads x vendor on Vera",
+        )
+        .grid(num_threads=list(THREADS), runtime=list(RUNTIMES))
+    )
+    return study.run(jobs=jobs, cache=cache)
+
+
+def test_study_sweep(benchmark, scale, seed):
+    res = run_once(
+        benchmark, _sweep,
+        runs=scale["runs"], outer_reps=scale["reps"], seed=seed,
+    )
+
+    # barrier *overhead* grows with the team size (pooled over both
+    # vendors); the raw test time is held near the target time by EPCC's
+    # inner-repetition doubling, so the overhead series is the one that
+    # scales
+    groups = res.group_summaries("num_threads", label="barrier.overhead")
+    means = [groups[n].mean for n in THREADS]
+    assert means == sorted(means)
+
+    # the hyper barrier never loses to centralized gather-release at the
+    # widest team
+    widest = max(THREADS)
+    gnu = res.get(num_threads=widest, runtime="gnu").runs_matrix(
+        "barrier.overhead"
+    )
+    llvm = res.get(num_threads=widest, runtime="llvm").runs_matrix(
+        "barrier.overhead"
+    )
+    assert llvm.mean() <= gnu.mean()
+
+    # tidy export: one record per config x run x label
+    records = res.to_records()
+    labels = res.results[0].labels()
+    assert len(records) == len(res) * scale["runs"] * len(labels)

@@ -7,6 +7,10 @@ sampling every core's ``scaling_cur_freq`` from a spare core, exactly as
 the paper's logger script does.  Cross-NUMA teams trigger transient
 frequency dips; the dips correlate with slower, more variable repetitions.
 
+The two placements are one ``places`` axis of a Study (docs/study.md);
+both configurations run through one shared sweep and are looked up by
+axis value afterwards.
+
 Run with::
 
     python examples/frequency_study.py
@@ -14,34 +18,37 @@ Run with::
 
 import numpy as np
 
-from repro.harness import ExperimentConfig, Runner
+from repro.harness import ExperimentConfig, Study
 from repro.stats import summarize
 
-
-def run(places: str):
-    cfg = ExperimentConfig(
-        platform="vera",
-        benchmark="schedbench",
-        num_threads=16,
-        places=places,
-        proc_bind="close",
-        schedule="dynamic",
-        schedule_chunk=1,
-        runs=4,
-        seed=13,
-        benchmark_params={"outer_reps": 25},
-        freq_logging=True,
-        logger_cpu=31,  # spare core on the second socket
-    )
-    return Runner(cfg).run()
+PLACEMENTS = (
+    ("one NUMA domain (cpus 0-15)", "{0:16}"),
+    ("two NUMA domains (cpus 0-7 + 16-23)", "{0:8},{16:8}"),
+)
 
 
 def main() -> None:
-    for name, places in (
-        ("one NUMA domain (cpus 0-15)", "{0:16}"),
-        ("two NUMA domains (cpus 0-7 + 16-23)", "{0:8},{16:8}"),
-    ):
-        result = run(places)
+    study = Study(
+        ExperimentConfig(
+            platform="vera",
+            benchmark="schedbench",
+            num_threads=16,
+            proc_bind="close",
+            schedule="dynamic",
+            schedule_chunk=1,
+            runs=4,
+            seed=13,
+            benchmark_params={"outer_reps": 25},
+            freq_logging=True,
+            logger_cpu=31,  # spare core on the second socket
+        ),
+        name="frequency-study",
+        description="1 vs 2 NUMA domains under the frequency logger",
+    ).grid(places=[places for _name, places in PLACEMENTS])
+    by_places = study.run().by("places")
+
+    for name, places in PLACEMENTS:
+        result = by_places[places]
         matrix = result.runs_matrix("dynamic_1")
         s = summarize(matrix.ravel())
         logs = [r.freq_log for r in result.records]

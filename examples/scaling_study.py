@@ -1,7 +1,11 @@
 #!/usr/bin/env python
 """Scalability study (the paper's Section 5.1 / Figures 1-3, scaled down).
 
-Sweeps thread counts on both platform models and reports, per count:
+Declares one thread-count sweep per platform with the Study API
+(docs/study.md): the axis declaration replaces the hand-rolled config
+loop, ``StudyResult.get`` looks results up by axis value, and
+``group_summaries`` pools the variability per thread count.  Reports,
+per count:
 
 * BabelStream triad time (falls with threads — Figure 2),
 * syncbench reduction overhead (grows with threads, jumping at socket
@@ -14,7 +18,7 @@ Run with::
     python examples/scaling_study.py
 """
 
-from repro.harness import ExperimentConfig, Runner
+from repro.harness import ExperimentConfig, Study
 from repro.harness.report import render_series
 from repro.stats import summarize
 
@@ -23,38 +27,54 @@ SWEEPS = {"vera": (2, 8, 16, 30), "dardel": (4, 16, 64, 128)}
 
 def main() -> None:
     for platform, sweep in SWEEPS.items():
-        triad_ms, overhead_us, norm_max = [], [], []
-        for n in sweep:
-            stream = Runner(
-                ExperimentConfig(
-                    platform=platform, benchmark="babelstream", num_threads=n,
-                    places="cores", proc_bind="close", runs=2, seed=3,
+        base = ExperimentConfig(
+            platform=platform, places="cores", proc_bind="close",
+            runs=2, seed=3,
+        )
+        stream = (
+            Study(
+                base.with_overrides(
+                    benchmark="babelstream",
                     benchmark_params={"num_times": 10},
-                )
-            ).run()
-            triad = stream.runs_matrix("triad")
-            triad_ms.append(float(triad.mean()) * 1e3)
-
-            sync = Runner(
-                ExperimentConfig(
-                    platform=platform, benchmark="syncbench", num_threads=n,
-                    places="cores", proc_bind="close", runs=2, seed=3,
+                ),
+                name=f"stream-scaling-{platform}",
+            )
+            .grid(num_threads=list(sweep))
+            .run()
+        )
+        sync = (
+            Study(
+                base.with_overrides(
+                    benchmark="syncbench",
                     benchmark_params={"outer_reps": 20,
                                       "constructs": ("reduction",)},
-                )
-            ).run()
-            overhead = sync.runs_matrix("reduction.overhead")
+                ),
+                name=f"sync-scaling-{platform}",
+            )
+            .grid(num_threads=list(sweep))
+            .run()
+        )
+
+        triad_ms, overhead_us, norm_max = [], [], []
+        for n in sweep:
+            triad = stream.get(num_threads=n).runs_matrix("triad")
+            triad_ms.append(float(triad.mean()) * 1e3)
+            result = sync.get(num_threads=n)
+            overhead = result.runs_matrix("reduction.overhead")
             overhead_us.append(float(overhead.mean()) * 1e6)
             norm_max.append(
                 max(summarize(row).norm_max
-                    for row in sync.runs_matrix("reduction"))
+                    for row in result.runs_matrix("reduction"))
             )
+        pooled = sync.group_summaries("num_threads", label="reduction")
 
         print(f"== {platform} ==")
         print(render_series("triad time (ms)", sweep, triad_ms, unit="ms"))
         print(render_series("reduction overhead (us)", sweep, overhead_us,
                             unit="us"))
         print(render_series("worst norm max", sweep, norm_max))
+        print(render_series("pooled CV", sweep,
+                            [pooled[n].cv for n in sweep]))
         print()
 
 

@@ -12,6 +12,14 @@ Quickstart
 >>> from repro import experiments
 >>> result = experiments.figure1(platform="vera", runs=3, outer_reps=10, seed=1)
 >>> print(result.render())                                    # doctest: +SKIP
+
+Declare a custom sweep without writing a driver (see docs/study.md)::
+
+>>> from repro import ExperimentConfig, Study
+>>> res = (Study(ExperimentConfig(benchmark="syncbench", runs=3))
+...        .grid(num_threads=[4, 8], runtime=["gnu", "llvm"])
+...        .run(jobs=0))                                      # doctest: +SKIP
+>>> res.group_summaries("num_threads")                        # doctest: +SKIP
 """
 
 #: Bumped to 1.2.0 by the runtime-vendor subsystem: `ExperimentConfig` grew
@@ -46,6 +54,8 @@ _LAZY_ATTRS = {
     "Runner": ("repro.harness", "Runner"),
     "ParallelRunner": ("repro.harness", "ParallelRunner"),
     "Sweep": ("repro.harness", "Sweep"),
+    "Study": ("repro.harness", "Study"),
+    "StudyResult": ("repro.harness", "StudyResult"),
     "ResultCache": ("repro.harness", "ResultCache"),
     "experiments": ("repro.harness", "experiments"),
     "SMTMode": ("repro.types", "SMTMode"),

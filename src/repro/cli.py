@@ -33,6 +33,14 @@ under LLVM libomp with passive waiters::
     repro-omp run --platform dardel --benchmark syncbench --threads 128 \
         --runtime llvm --wait-policy passive
 
+Run a declarative parameter sweep without writing any Python (see
+docs/study.md): ``--grid`` axes cross-multiply, ``--zip`` axes tie
+equal-length value lists together, and ``--out`` exports the tidy
+records as CSV or JSON::
+
+    repro-omp sweep --grid num_threads=4,8 --grid runtime=gnu,llvm \
+        --runs 5 --reps 20 --out sweep.csv
+
 Show a platform description::
 
     repro-omp platform dardel
@@ -42,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.bench.registry import available_benchmarks
 from repro.errors import ReproError
@@ -53,7 +62,13 @@ from repro.harness.experiments import (
     get_experiment,
 )
 from repro.harness.parallel import ParallelRunner
-from repro.harness.report import render_tasking_summary, split_tasking_labels
+from repro.harness.report import (
+    render_group_summaries,
+    render_study_overview,
+    render_tasking_summary,
+    split_tasking_labels,
+)
+from repro.harness.study import Study, coerce_token
 from repro.omp.vendor import available_runtimes, get_runtime_profile
 from repro.platform import available_platforms, get_platform
 
@@ -80,6 +95,71 @@ def _make_cache(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(args.cache_dir)
 
 
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    """Base-configuration flags shared by ``run`` and ``sweep``."""
+    parser.add_argument("--platform", choices=available_platforms(), default="vera")
+    parser.add_argument("--benchmark", choices=available_benchmarks(),
+                        default="syncbench")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--places", default="cores")
+    parser.add_argument("--proc-bind", dest="proc_bind", default="close",
+                        choices=["false", "true", "close", "spread", "master"])
+    parser.add_argument("--schedule", default="static",
+                        choices=["static", "dynamic", "guided"])
+    parser.add_argument("--chunk", type=int, default=None)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--reps", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--noise", default="default", choices=["default", "quiet"],
+                        help="OS-noise profile (quiet = noise sources ablated)")
+    parser.add_argument("--runtime", default="gnu", choices=available_runtimes(),
+                        help="OpenMP implementation vendor profile "
+                             "(gnu = GCC libgomp, llvm = LLVM libomp)")
+    parser.add_argument("--wait-policy", dest="wait_policy", default=None,
+                        choices=["active", "passive"],
+                        help="OMP_WAIT_POLICY override (default: vendor's policy)")
+    parser.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                        help="extra benchmark parameter (repeatable), e.g. "
+                             "--param pattern=fib --param fib_n=14")
+    parser.add_argument("--freq-log", action="store_true")
+
+
+def _reps_key(benchmark: str) -> str:
+    """The repetition knob of *benchmark* (``--reps`` maps onto it)."""
+    return "num_times" if benchmark == "babelstream" else "outer_reps"
+
+
+def _config_from_args(
+    args: argparse.Namespace, include_reps: bool = True
+) -> ExperimentConfig:
+    """Build the (base) ExperimentConfig from the shared config flags.
+
+    ``sweep`` passes ``include_reps=False`` and applies ``--reps`` per
+    expanded config instead: the knob's name depends on the benchmark,
+    which may itself be a swept axis.
+    """
+    params: dict = {}
+    if include_reps and args.reps is not None:
+        params[_reps_key(args.benchmark)] = args.reps
+    params.update(_parse_param(item) for item in args.param)
+    return ExperimentConfig(
+        platform=args.platform,
+        benchmark=args.benchmark,
+        num_threads=args.threads,
+        places=None if args.proc_bind == "false" else args.places,
+        proc_bind=args.proc_bind,
+        schedule=args.schedule,
+        schedule_chunk=args.chunk,
+        runs=args.runs,
+        seed=args.seed,
+        noise=args.noise,
+        runtime=args.runtime,
+        wait_policy=args.wait_policy,
+        benchmark_params=params,
+        freq_logging=args.freq_log,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-omp",
@@ -104,49 +184,72 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_execution_flags(p_exp)
 
     p_run = sub.add_parser("run", help="run one custom configuration")
-    p_run.add_argument("--platform", choices=available_platforms(), default="vera")
-    p_run.add_argument("--benchmark", choices=available_benchmarks(),
-                       default="syncbench")
-    p_run.add_argument("--threads", type=int, default=4)
-    p_run.add_argument("--places", default="cores")
-    p_run.add_argument("--proc-bind", dest="proc_bind", default="close",
-                       choices=["false", "true", "close", "spread", "master"])
-    p_run.add_argument("--schedule", default="static",
-                       choices=["static", "dynamic", "guided"])
-    p_run.add_argument("--chunk", type=int, default=None)
-    p_run.add_argument("--runs", type=int, default=10)
-    p_run.add_argument("--reps", type=int, default=None)
-    p_run.add_argument("--seed", type=int, default=42)
-    p_run.add_argument("--noise", default="default", choices=["default", "quiet"],
-                       help="OS-noise profile (quiet = noise sources ablated)")
-    p_run.add_argument("--runtime", default="gnu", choices=available_runtimes(),
-                       help="OpenMP implementation vendor profile "
-                            "(gnu = GCC libgomp, llvm = LLVM libomp)")
-    p_run.add_argument("--wait-policy", dest="wait_policy", default=None,
-                       choices=["active", "passive"],
-                       help="OMP_WAIT_POLICY override (default: vendor's policy)")
-    p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
-                       help="extra benchmark parameter (repeatable), e.g. "
-                            "--param pattern=fib --param fib_n=14")
-    p_run.add_argument("--freq-log", action="store_true")
+    _add_config_flags(p_run)
     p_run.add_argument("--out", default=None, help="save result JSON here")
     _add_execution_flags(p_run)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="declarative parameter sweep (grid/zip axes over a base config)",
+    )
+    _add_config_flags(p_sweep)
+    p_sweep.add_argument(
+        "--grid", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="sweep axis whose values cross-multiply with other axes "
+             "(repeatable); KEY is a config field or a benchmark parameter",
+    )
+    p_sweep.add_argument(
+        "--zip", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="sweep axes tied position-by-position; all --zip lists must "
+             "share a length (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--label", default=None, metavar="SERIES",
+        help="measurement series to summarize (default: each result's first)",
+    )
+    p_sweep.add_argument(
+        "--group-by", dest="group_by", action="append", default=[],
+        metavar="KEY",
+        help="axis to aggregate pooled variability over (repeatable; "
+             "default: every swept axis)",
+    )
+    p_sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="export tidy records here (.json exports JSON, anything "
+             "else CSV)",
+    )
+    _add_execution_flags(p_sweep)
     return parser
 
 
+#: Config fields whose legal *string* values collide with the bool tokens
+#: (``proc_bind="false"`` means OS placement, not Python ``False``), so
+#: axis values for them are taken verbatim.
+_VERBATIM_AXIS_KEYS = frozenset({"proc_bind"})
+
+
 def _parse_param(item: str) -> tuple[str, object]:
-    """``KEY=VALUE`` with the value coerced to int/float when it parses."""
+    """``KEY=VALUE`` with the value coerced via
+    :func:`~repro.harness.study.coerce_token` — ``true``/``false``/``none``
+    (case-insensitive) become ``True``/``False``/``None``, so boolean
+    benchmark parameters do not arrive as (always-truthy) strings."""
     key, sep, raw = item.partition("=")
     if not sep or not key:
         raise ReproError(f"--param needs KEY=VALUE, got {item!r}")
-    value: object = raw
-    for cast in (int, float):
-        try:
-            value = cast(raw)
-            break
-        except ValueError:
-            continue
-    return key, value
+    return key, coerce_token(raw)
+
+
+def _parse_axis(item: str) -> tuple[str, list]:
+    """``KEY=V1,V2,...`` for ``--grid`` / ``--zip``; values coerced like
+    ``--param`` values (except for keys whose legal string values look
+    like booleans, e.g. ``proc_bind=false,close``)."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key or not raw:
+        raise ReproError(f"--grid/--zip need KEY=V1,V2,..., got {item!r}")
+    values = raw.split(",")
+    if key in _VERBATIM_AXIS_KEYS:
+        return key, values
+    return key, [coerce_token(v) for v in values]
 
 
 def _cmd_list() -> int:
@@ -187,29 +290,7 @@ def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    params: dict = {}
-    if args.reps is not None:
-        if args.benchmark == "babelstream":
-            params["num_times"] = args.reps
-        else:
-            params["outer_reps"] = args.reps
-    params.update(_parse_param(item) for item in args.param)
-    config = ExperimentConfig(
-        platform=args.platform,
-        benchmark=args.benchmark,
-        num_threads=args.threads,
-        places=None if args.proc_bind == "false" else args.places,
-        proc_bind=args.proc_bind,
-        schedule=args.schedule,
-        schedule_chunk=args.chunk,
-        runs=args.runs,
-        seed=args.seed,
-        noise=args.noise,
-        runtime=args.runtime,
-        wait_policy=args.wait_policy,
-        benchmark_params=params,
-        freq_logging=args.freq_log,
-    )
+    config = _config_from_args(args)
     result = ParallelRunner(config, jobs=args.jobs, cache=_make_cache(args)).run()
     time_labels, metric_labels = split_tasking_labels(result.labels())
     for label in time_labels:
@@ -231,6 +312,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    study = Study(
+        _config_from_args(args, include_reps=False),
+        name="sweep",
+        description="declarative CLI sweep",
+    )
+    for item in args.grid:
+        key, values = _parse_axis(item)
+        study = study.grid(**{key: values})
+    if args.zip:
+        study = study.zip(**dict(_parse_axis(item) for item in args.zip))
+    if args.reps is not None:
+        # applied per expanded config: the knob's name follows each
+        # config's benchmark (which may be a swept axis), and an explicit
+        # axis/--param value for the knob wins over --reps
+        reps = args.reps
+        study = study.derive(
+            benchmark_params=lambda cfg: {
+                _reps_key(cfg.benchmark): reps,
+                **cfg.benchmark_params,
+            }
+        )
+    result = study.run(jobs=args.jobs, cache=_make_cache(args))
+
+    axes = ", ".join(result.axes) if result.axes else "(none)"
+    print(f"sweep: {len(result)} configuration(s); swept axes: {axes}")
+    print()
+    print(
+        render_study_overview(
+            result, label=args.label,
+            title="per-configuration pooled variability",
+        )
+    )
+    for axis in args.group_by or result.axes:
+        print()
+        print(
+            render_group_summaries(
+                axis,
+                result.group_summaries(axis, label=args.label),
+                title=f"pooled variability by {axis}",
+            )
+        )
+    if args.out:
+        out = Path(args.out)
+        if out.suffix.lower() == ".json":
+            n_records = result.to_json(out)
+        else:
+            n_records = result.to_csv(out)
+        print(f"\nexported {n_records} tidy records to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -242,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args.name, args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -9,6 +9,10 @@ Turns configurations into results:
 * :class:`~repro.harness.parallel.ParallelRunner` /
   :class:`~repro.harness.parallel.Sweep` — fan runs (of one or many
   configs) out over a process pool, bit-identical to serial execution;
+* :class:`~repro.harness.study.Study` /
+  :class:`~repro.harness.study.StudyResult` — declarative sweep specs
+  (grid/zip/cases axes, derived fields, filters) executed through one
+  ``Sweep``, with tidy long-form records and CSV/JSON export;
 * :class:`~repro.harness.cache.ResultCache` — on-disk result cache keyed
   by config + seed + code version;
 * :mod:`repro.harness.results` — result containers with JSON round-trip;
@@ -24,6 +28,7 @@ from repro.harness.freqlogger import FrequencyLog, FrequencyLogger
 from repro.harness.parallel import ParallelRunner, Sweep
 from repro.harness.results import ExperimentResult, RunRecord
 from repro.harness.runner import Runner
+from repro.harness.study import Study, StudyResult
 from repro.harness import experiments
 from repro.harness import report
 
@@ -32,6 +37,8 @@ __all__ = [
     "Runner",
     "ParallelRunner",
     "Sweep",
+    "Study",
+    "StudyResult",
     "ResultCache",
     "cache_key",
     "RunRecord",

@@ -6,12 +6,21 @@ and returns an :class:`ExperimentArtifact` carrying both structured data
 "figure").  Default arguments are the paper's scale (10 runs x 100
 repetitions); tests and the pytest-benchmark harness pass reduced values.
 
-Every driver accepts two execution knobs:
+Every driver declares its sweep as a :class:`~repro.harness.study.Study`:
+the axes (``grid`` / ``zip`` / ``cases``), derived fields and filters
+compose into the explicit config list, and ``Study.run`` executes it —
+so a driver is the sweep declaration plus the artifact rendering, and a
+new scenario needs no hand-rolled config assembly (or, via the
+``repro-omp sweep`` CLI, no Python at all).  The rendered artifacts are
+regression-locked byte-for-byte against the pre-Study drivers
+(``tests/test_study.py``).
+
+Every driver accepts two execution knobs, forwarded to ``Study.run``:
 
 ``jobs``
     Worker processes for the run fan-out (default ``1`` = serial, the
-    historical behavior; ``0``/``None`` = every core).  Each driver builds
-    *all* of its configs up front and schedules them through one shared
+    historical behavior; ``0``/``None`` = every core).  Each driver's
+    study schedules *all* of its configs through one shared
     :class:`~repro.harness.parallel.Sweep`, so the runs of short configs
     interleave with long ones instead of serializing behind them.  Results
     are bit-identical to serial execution for any ``jobs``.
@@ -53,9 +62,13 @@ import numpy as np
 from repro.errors import HarnessError
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
-from repro.harness.parallel import Sweep
-from repro.harness.report import render_series, render_table, render_tasking_summary
-from repro.harness.results import ExperimentResult
+from repro.harness.report import (
+    render_pivot,
+    render_series,
+    render_table,
+    render_tasking_summary,
+)
+from repro.harness.study import Study
 from repro.stats.descriptive import summarize
 from repro.types import StreamKernel, SyncConstruct
 from repro.units import to_ms, to_us
@@ -143,15 +156,6 @@ def available_experiments() -> tuple[str, ...]:
     return tuple(sorted(EXPERIMENTS))
 
 
-def _run_batch(
-    configs: Sequence[ExperimentConfig],
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-) -> list[ExperimentResult]:
-    """Execute *configs* through one shared sweep; results in input order."""
-    return Sweep(jobs=jobs, cache=cache).run(configs)
-
-
 # ---------------------------------------------------------------------------
 # Table 2
 # ---------------------------------------------------------------------------
@@ -171,26 +175,27 @@ def table2(
         ("vera", 4, "cores"),
         ("vera", 30, "cores"),
     ]
-    configs = [
+    study = Study(
         ExperimentConfig(
-            platform=platform,
             benchmark="schedbench",
-            num_threads=threads,
-            places=places,
             proc_bind="close",
             schedule="dynamic",
             schedule_chunk=1,
             runs=runs,
             seed=seed,
             benchmark_params={"outer_reps": outer_reps},
-        )
+        ),
+        name="table2",
+        description="run-to-run schedbench dynamic_1 execution times",
+    ).cases(*(
+        {"platform": platform, "num_threads": threads, "places": places}
         for platform, threads, places in columns
-    ]
-    results = _run_batch(configs, jobs, cache)
+    ))
+    by_combo = study.run(jobs=jobs, cache=cache).by("platform", "num_threads")
 
     per_column_means: dict[str, np.ndarray] = {}
-    for (platform, threads, _places), result in zip(columns, results):
-        matrix = result.runs_matrix("dynamic_1")
+    for platform, threads, _places in columns:
+        matrix = by_combo[(platform, threads)].runs_matrix("dynamic_1")
         per_column_means[f"{platform}@{threads}"] = matrix.mean(axis=1)
 
     headers = ["run #"] + [k for k in per_column_means]
@@ -235,26 +240,29 @@ def figure1(
 ) -> ExperimentArtifact:
     """Figure 1: syncbench (reduction) time vs HW thread count."""
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    combos = [
-        (platform, threads) for platform, sweep in sweeps for threads in sweep
-    ]
-    configs = [
-        ExperimentConfig(
-            platform=platform,
-            benchmark="syncbench",
-            num_threads=threads,
-            places=_thread_places(platform, threads),
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            benchmark_params={
-                "outer_reps": outer_reps,
-                "constructs": (SyncConstruct.REDUCTION.value,),
-            },
+    study = (
+        Study(
+            ExperimentConfig(
+                benchmark="syncbench",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={
+                    "outer_reps": outer_reps,
+                    "constructs": (SyncConstruct.REDUCTION.value,),
+                },
+            ),
+            name="figure1",
+            description="syncbench execution time scaling",
         )
-        for platform, threads in combos
-    ]
-    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+        .cases(*(
+            {"platform": platform, "num_threads": threads}
+            for platform, sweep in sweeps
+            for threads in sweep
+        ))
+        .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+    by_combo = study.run(jobs=jobs, cache=cache).by("platform", "num_threads")
 
     sections = []
     data: dict[str, Any] = {}
@@ -299,23 +307,26 @@ def figure2(
 ) -> ExperimentArtifact:
     """Figure 2: BabelStream kernel time (ms) vs HW thread count."""
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    combos = [
-        (platform, threads) for platform, sweep in sweeps for threads in sweep
-    ]
-    configs = [
-        ExperimentConfig(
-            platform=platform,
-            benchmark="babelstream",
-            num_threads=threads,
-            places=_thread_places(platform, threads),
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            benchmark_params={"num_times": num_times},
+    study = (
+        Study(
+            ExperimentConfig(
+                benchmark="babelstream",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={"num_times": num_times},
+            ),
+            name="figure2",
+            description="BabelStream kernel time scaling",
         )
-        for platform, threads in combos
-    ]
-    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+        .cases(*(
+            {"platform": platform, "num_threads": threads}
+            for platform, sweep in sweeps
+            for threads in sweep
+        ))
+        .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+    by_combo = study.run(jobs=jobs, cache=cache).by("platform", "num_threads")
 
     sections = []
     data: dict[str, Any] = {}
@@ -378,32 +389,33 @@ def figure3(
         ("babelstream", StreamKernel.TRIAD.value, {"num_times": num_times}),
     )
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    combos = [
-        (platform, bench, threads, params)
-        for platform, sweep in sweeps
-        for bench, _label, params in benches
-        for threads in sweep
-    ]
-    configs = [
-        ExperimentConfig(
-            platform=platform,
-            benchmark=bench,
-            num_threads=threads,
-            places=_thread_places(platform, threads),
-            proc_bind="close",
-            schedule="dynamic",
-            schedule_chunk=1,
-            runs=runs,
-            seed=seed,
-            benchmark_params=params,
+    study = (
+        Study(
+            ExperimentConfig(
+                proc_bind="close",
+                schedule="dynamic",
+                schedule_chunk=1,
+                runs=runs,
+                seed=seed,
+            ),
+            name="figure3",
+            description="normalized min/max variability scaling",
         )
-        for platform, bench, threads, params in combos
-    ]
-    by_combo = dict(
-        zip(
-            [(p, b, t) for p, b, t, _ in combos],
-            _run_batch(configs, jobs, cache),
-        )
+        .cases(*(
+            {
+                "platform": platform,
+                "benchmark": bench,
+                "num_threads": threads,
+                "benchmark_params": params,
+            }
+            for platform, sweep in sweeps
+            for bench, _label, params in benches
+            for threads in sweep
+        ))
+        .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+    by_combo = study.run(jobs=jobs, cache=cache).by(
+        "platform", "benchmark", "num_threads"
     )
 
     for platform, sweep in sweeps:
@@ -460,39 +472,41 @@ def figure4(
         ("babelstream", 128, StreamKernel.TRIAD.value, {"num_times": num_times}),
     )
     bindings = (("unpinned", "false"), ("pinned", "close"))
-    combos = [
-        (bench, threads, label, params, bound, bind)
-        for bench, threads, label, params in cases
-        for bound, bind in bindings
-    ]
-    configs = [
-        ExperimentConfig(
-            platform="dardel",
-            benchmark=bench,
-            num_threads=threads,
-            places="cores" if bind != "false" else None,
-            proc_bind=bind,
-            schedule="dynamic",
-            schedule_chunk=1,
-            runs=runs,
-            seed=seed,
-            benchmark_params=params,
+    study = (
+        Study(
+            ExperimentConfig(
+                platform="dardel",
+                schedule="dynamic",
+                schedule_chunk=1,
+                runs=runs,
+                seed=seed,
+            ),
+            name="figure4",
+            description="thread pinning on/off on Dardel",
         )
-        for bench, threads, _label, params, _bound, bind in combos
-    ]
-    by_combo = dict(
-        zip(
-            [(bench, threads, bound) for bench, threads, _l, _p, bound, _b in combos],
-            _run_batch(configs, jobs, cache),
+        .cases(*(
+            {
+                "benchmark": bench,
+                "num_threads": threads,
+                "benchmark_params": params,
+            }
+            for bench, threads, _label, params in cases
+        ))
+        .zip(
+            proc_bind=[bind for _bound, bind in bindings],
+            places=[None if bind == "false" else "cores" for _bound, bind in bindings],
         )
+    )
+    by_combo = study.run(jobs=jobs, cache=cache).by(
+        "benchmark", "num_threads", "proc_bind"
     )
 
     sections = []
     data: dict[str, Any] = {}
     for bench, threads, label, _params in cases:
         entry: dict[str, Any] = {}
-        for bound, _bind in bindings:
-            matrix = by_combo[(bench, threads, bound)].runs_matrix(label)
+        for bound, bind in bindings:
+            matrix = by_combo[(bench, threads, bind)].runs_matrix(label)
             stats = [summarize(row) for row in matrix]
             entry[bound] = {
                 "run_means": [s.mean for s in stats],
@@ -546,18 +560,6 @@ def figure5(
     modes = (("ST", "cores"), ("MT", "threads"))
     constructs = tuple(c.value for c in SyncConstruct)
 
-    def _cfg(benchmark: str, threads: int, places: str, **kw) -> ExperimentConfig:
-        return ExperimentConfig(
-            platform="dardel",
-            benchmark=benchmark,
-            num_threads=threads,
-            places=places,
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            **kw,
-        )
-
     blocks = (
         ("schedbench@128", "schedbench", 128,
          {"schedule": "dynamic", "schedule_chunk": 1,
@@ -568,17 +570,27 @@ def figure5(
         ("babelstream@128", "babelstream", 128,
          {"benchmark_params": {"num_times": num_times}}),
     )
-    specs: list[tuple[str, str, ExperimentConfig]] = [
-        (block, mode, _cfg(bench, threads, places, **extra))
-        for block, bench, threads, extra in blocks
-        for mode, places in modes
-    ]
-    by_spec = dict(
-        zip(
-            [(block, mode) for block, mode, _cfgv in specs],
-            _run_batch([cfgv for _block, _mode, cfgv in specs], jobs, cache),
+    study = (
+        Study(
+            ExperimentConfig(
+                platform="dardel", proc_bind="close", runs=runs, seed=seed
+            ),
+            name="figure5",
+            description="ST vs MT at equal thread counts on Dardel",
         )
+        .cases(*(
+            {"benchmark": bench, "num_threads": threads, **extra}
+            for _block, bench, threads, extra in blocks
+        ))
+        .grid(places=[places for _mode, places in modes])
     )
+    by_places = study.run(jobs=jobs, cache=cache).by("benchmark", "places")
+    mode_places = dict(modes)
+    by_spec = {
+        (block, mode): by_places[(bench, mode_places[mode])]
+        for block, bench, _threads, _extra in blocks
+        for mode, _places in modes
+    }
 
     sections = []
     data: dict[str, Any] = {}
@@ -683,12 +695,11 @@ def _vera_numa_experiment(
         ("one-numa (cpus 0-15)", "{0:16}"),
         ("two-numa (cpus 0-7,16-23)", "{0:8},{16:8}"),
     )
-    configs = [
+    study = Study(
         ExperimentConfig(
             platform="vera",
             benchmark=benchmark,
             num_threads=16,
-            places=places,
             proc_bind="close",
             schedule="dynamic" if benchmark == "schedbench" else "static",
             schedule_chunk=1 if benchmark == "schedbench" else None,
@@ -697,14 +708,16 @@ def _vera_numa_experiment(
             benchmark_params=params,
             freq_logging=True,
             logger_cpu=31,  # a spare core on the second socket
-        )
-        for _name, places in placements
-    ]
-    results = _run_batch(configs, jobs, cache)
+        ),
+        name=f"{benchmark}-numa",
+        description="16 Vera cores on 1 vs 2 NUMA domains",
+    ).grid(places=[places for _name, places in placements])
+    by_places = study.run(jobs=jobs, cache=cache).by("places")
 
     sections = []
     data: dict[str, Any] = {}
-    for (name, _places), result in zip(placements, results):
+    for name, places in placements:
+        result = by_places[places]
         matrix = result.runs_matrix(label)
         stats = [summarize(row) for row in matrix]
         logs = [rec.freq_log for rec in result.records if rec.freq_log is not None]
@@ -827,75 +840,77 @@ def figure8(
     remains is purely the runtime's own stochastic scheduling (victim
     choices + contention jitter); the default profile adds the OS on top.
     """
-    combos = [
-        (noise, n, g)
-        for noise in noise_profiles
-        for n in threads
-        for g in grainsizes
-    ]
-    configs = [
-        ExperimentConfig(
-            platform="vera",
-            benchmark="taskbench",
-            num_threads=n,
-            places="cores",
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            noise=noise,
-            benchmark_params={
-                "outer_reps": outer_reps,
-                "pattern": "taskloop",
-                "grainsize": g,
-                "total_iters": total_iters,
-                "imbalance": 0.6,
-            },
+    study = (
+        Study(
+            ExperimentConfig(
+                platform="vera",
+                benchmark="taskbench",
+                places="cores",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={
+                    "outer_reps": outer_reps,
+                    "pattern": "taskloop",
+                    "total_iters": total_iters,
+                    "imbalance": 0.6,
+                },
+            ),
+            name="figure8",
+            description="taskbench work-stealing sweep on Vera",
         )
-        for noise, n, g in combos
-    ]
-    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+        .grid(
+            noise=list(noise_profiles),
+            num_threads=list(threads),
+            grainsize=list(grainsizes),
+        )
+    )
+    by_combo = study.run(jobs=jobs, cache=cache).by(
+        "noise", "num_threads", "grainsize"
+    )
+
+    data: dict[str, Any] = {}
+    for (noise, n, g), result in by_combo.items():
+        label = f"taskloop_g{g}"
+        matrix = result.runs_matrix(label)
+        steals = result.runs_matrix(f"{label}.steals")
+        failed = result.runs_matrix(f"{label}.failed_steals")
+        idle = result.runs_matrix(f"{label}.idle_frac")
+        pooled = summarize(matrix.ravel())
+        attempts = float(steals.sum() + failed.sum())
+        data[f"{noise}/n{n}/g{g}"] = {
+            "mean_us": to_us(pooled.mean),
+            "cv": pooled.cv,
+            "norm_max": pooled.norm_max,
+            "mean_steals": float(steals.mean()),
+            "failed_steal_rate": (
+                float(failed.sum()) / attempts if attempts else 0.0
+            ),
+            "idle_frac": float(idle.mean()),
+        }
 
     sections: list[tuple[str, str]] = []
-    data: dict[str, Any] = {}
     for noise in noise_profiles:
-        rows = []
-        for n in threads:
-            row: list[object] = [n]
-            for g in grainsizes:
-                result = by_combo[(noise, n, g)]
-                label = f"taskloop_g{g}"
-                matrix = result.runs_matrix(label)
-                steals = result.runs_matrix(f"{label}.steals")
-                failed = result.runs_matrix(f"{label}.failed_steals")
-                idle = result.runs_matrix(f"{label}.idle_frac")
-                pooled = summarize(matrix.ravel())
-                attempts = float(steals.sum() + failed.sum())
-                entry = {
-                    "mean_us": to_us(pooled.mean),
-                    "cv": pooled.cv,
-                    "norm_max": pooled.norm_max,
-                    "mean_steals": float(steals.mean()),
-                    "failed_steal_rate": (
-                        float(failed.sum()) / attempts if attempts else 0.0
-                    ),
-                    "idle_frac": float(idle.mean()),
-                }
-                data[f"{noise}/n{n}/g{g}"] = entry
-                row.extend(
-                    [
-                        f"{entry['mean_us']:.1f}",
-                        f"{entry['cv']:.4f}",
-                        f"{entry['mean_steals']:.1f}",
-                    ]
-                )
-            rows.append(row)
-        headers = ["threads"] + [
-            f"g{g} {col}" for g in grainsizes for col in ("us", "CV", "steals")
-        ]
+
+        def noise_cell(n: int, g: int) -> list[str]:
+            entry = data[f"{noise}/n{n}/g{g}"]
+            return [
+                f"{entry['mean_us']:.1f}",
+                f"{entry['cv']:.4f}",
+                f"{entry['mean_steals']:.1f}",
+            ]
+
         sections.append(
             (
                 f"noise={noise}: taskloop time/CV/steals per rep",
-                render_table(headers, rows),
+                render_pivot(
+                    "threads",
+                    threads,
+                    grainsizes,
+                    ("us", "CV", "steals"),
+                    noise_cell,
+                    col_label=lambda g: f"g{g}",
+                ),
             )
         )
 
@@ -956,44 +971,41 @@ def runtime_compare(
       not just a mean shift.
     """
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    combos = [
-        (platform, rt, wp, threads)
-        for platform, sweep in sweeps
-        for rt in runtimes
-        for wp in wait_policies
-        for threads in sweep
-    ]
-    configs = [
-        ExperimentConfig(
-            platform=platform,
-            benchmark="syncbench",
-            num_threads=threads,
-            places=_thread_places(platform, threads),
-            proc_bind="close",
-            runs=runs,
-            seed=seed,
-            runtime=rt,
-            wait_policy=wp,
-            benchmark_params={
-                "outer_reps": outer_reps,
-                "constructs": (
-                    SyncConstruct.BARRIER.value,
-                    SyncConstruct.PARALLEL.value,
-                ),
-            },
+    study = (
+        Study(
+            ExperimentConfig(
+                benchmark="syncbench",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={
+                    "outer_reps": outer_reps,
+                    "constructs": (
+                        SyncConstruct.BARRIER.value,
+                        SyncConstruct.PARALLEL.value,
+                    ),
+                },
+            ),
+            name="runtime_compare",
+            description="vendor x wait-policy x threads on both platforms",
         )
-        for platform, rt, wp, threads in combos
-    ]
-    by_combo = dict(zip(combos, _run_batch(configs, jobs, cache)))
+        .cases(*(
+            {"platform": platform, "num_threads": threads}
+            for platform, sweep in sweeps
+            for threads in sweep
+        ))
+        .grid(runtime=list(runtimes), wait_policy=list(wait_policies))
+        .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+    by_combo = study.run(jobs=jobs, cache=cache).by(
+        "platform", "runtime", "wait_policy", "num_threads"
+    )
 
-    sections: list[tuple[str, str]] = []
     data: dict[str, Any] = {}
     for platform, sweep in sweeps:
-        for wp in wait_policies:
-            rows = []
-            for threads in sweep:
-                row: list[object] = [threads]
-                for rt in runtimes:
+        for rt in runtimes:
+            for wp in wait_policies:
+                for threads in sweep:
                     result = by_combo[(platform, rt, wp, threads)]
                     barrier = result.runs_matrix(
                         f"{SyncConstruct.BARRIER.value}.overhead"
@@ -1002,30 +1014,35 @@ def runtime_compare(
                         f"{SyncConstruct.PARALLEL.value}.overhead"
                     )
                     pooled = summarize(barrier.ravel())
-                    entry = {
+                    data[f"{platform}/{rt}/{wp}/n{threads}"] = {
                         "barrier_us": to_us(pooled.mean),
                         "barrier_cv": pooled.cv,
                         "barrier_norm_max": pooled.norm_max,
                         "parallel_us": to_us(float(par.mean())),
                     }
-                    data[f"{platform}/{rt}/{wp}/n{threads}"] = entry
-                    row.extend(
-                        [
-                            f"{entry['barrier_us']:.2f}",
-                            f"{entry['barrier_cv']:.4f}",
-                            f"{entry['parallel_us']:.2f}",
-                        ]
-                    )
-                rows.append(row)
-            headers = ["threads"] + [
-                f"{rt} {col}"
-                for rt in runtimes
-                for col in ("barrier us", "CV", "parallel us")
-            ]
+
+    sections: list[tuple[str, str]] = []
+    for platform, sweep in sweeps:
+        for wp in wait_policies:
+
+            def vendor_cell(threads: int, rt: str) -> list[str]:
+                entry = data[f"{platform}/{rt}/{wp}/n{threads}"]
+                return [
+                    f"{entry['barrier_us']:.2f}",
+                    f"{entry['barrier_cv']:.4f}",
+                    f"{entry['parallel_us']:.2f}",
+                ]
+
             sections.append(
                 (
                     f"{platform}, OMP_WAIT_POLICY={wp}",
-                    render_table(headers, rows),
+                    render_pivot(
+                        "threads",
+                        sweep,
+                        runtimes,
+                        ("barrier us", "CV", "parallel us"),
+                        vendor_cell,
+                    ),
                 )
             )
 

@@ -20,6 +20,12 @@ Two entry points:
   :class:`~repro.harness.cache.ResultCache` consulted per config before any
   simulation is scheduled.
 
+:class:`Sweep` is the execution backend of the declarative
+:class:`~repro.harness.study.Study` API: a study expands its axes into a
+config list and hands the whole list to one ``Sweep``, so every study —
+and every experiment driver built on one — inherits the same fan-out,
+interleaving and caching semantics described here.
+
 Workers keep a per-process table of constructed runners keyed by the
 config's cache key, so a config's platform/runtime/benchmark stack is built
 at most once per worker rather than once per run.

@@ -7,11 +7,20 @@ unicode sparkline for trend reading in a terminal).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.errors import HarnessError
+from repro.units import to_us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.study import StudyResult
+
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Glyph used for a non-finite (NaN/inf) cell in a sparkline.
+_SPARK_BLANK = "·"
 
 
 def render_table(
@@ -34,28 +43,48 @@ def render_table(
 
 
 def sparkline(values: Sequence[float]) -> str:
-    """Unicode sparkline of a series (empty-safe).
+    """Unicode sparkline of a series (empty- and NaN-safe).
+
+    Non-finite cells (NaN/inf) render as a blank glyph instead of
+    poisoning the min/max scaling or crashing the integer cast.
 
     >>> sparkline([1, 2, 3])
     '▁▅█'
+    >>> sparkline([1.0, float("nan"), 3.0])
+    '▁·█'
     """
     v = np.asarray(list(values), dtype=np.float64)
     if v.size == 0:
         return ""
-    lo, hi = float(v.min()), float(v.max())
+    finite = np.isfinite(v)
+    if not finite.any():
+        return _SPARK_BLANK * v.size
+    lo, hi = float(v[finite].min()), float(v[finite].max())
     if hi == lo:
-        return _SPARK_CHARS[0] * v.size
-    idx = np.minimum(
-        (len(_SPARK_CHARS) - 1),
-        ((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).round().astype(int),
+        return "".join(
+            _SPARK_CHARS[0] if ok else _SPARK_BLANK for ok in finite
+        )
+    scaled = np.zeros(v.size)
+    scaled[finite] = (v[finite] - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    idx = np.minimum(len(_SPARK_CHARS) - 1, scaled.round().astype(int))
+    return "".join(
+        _SPARK_CHARS[i] if ok else _SPARK_BLANK for i, ok in zip(idx, finite)
     )
-    return "".join(_SPARK_CHARS[i] for i in idx)
 
 
 def render_series(
     label: str, xs: Sequence[object], ys: Sequence[float], unit: str = ""
 ) -> str:
-    """One figure series as a labelled row with a sparkline."""
+    """One figure series as a labelled row with a sparkline.
+
+    Raises :class:`HarnessError` when ``xs`` and ``ys`` disagree in length
+    (silently truncating to the shorter series would misattribute values
+    to x positions).
+    """
+    if len(xs) != len(ys):
+        raise HarnessError(
+            f"series {label!r}: {len(xs)} x values but {len(ys)} y values"
+        )
     pairs = "  ".join(f"{x}:{y:.4g}" for x, y in zip(xs, ys))
     suffix = f" [{unit}]" if unit else ""
     return f"{label:<28} {sparkline(ys)}  {pairs}{suffix}"
@@ -69,6 +98,115 @@ def render_norm_minmax_rows(
     for i, (lo, hi) in enumerate(np.asarray(norm), start=1):
         lines.append(f"  run {i:>2}: min {lo:.3f}  max {hi:.3f}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Study-driven rendering
+# ---------------------------------------------------------------------------
+#
+# These renderers take a StudyResult (or its derived groupings) plus an axis
+# spec, so a section is described by *which axes go where* instead of a
+# bespoke per-driver loop: render_pivot lays one axis along the rows and one
+# along the columns, render_group_summaries tabulates pooled variability per
+# axis value, and render_study_overview gives one pooled row per config.
+
+
+def render_pivot(
+    row_header: str,
+    row_values: Sequence[Any],
+    col_values: Sequence[Any],
+    cell_columns: Sequence[str],
+    cell: Callable[[Any, Any], Sequence[object]],
+    col_label: Callable[[Any], str] = str,
+    title: str | None = None,
+) -> str:
+    """Two-axis pivot table: rows x (columns x per-cell metrics).
+
+    ``cell(row_value, col_value)`` returns one formatted value per entry of
+    ``cell_columns``; headers become ``f"{col_label(col)} {metric}"``.
+    """
+    headers = [row_header] + [
+        f"{col_label(col)} {metric}" for col in col_values for metric in cell_columns
+    ]
+    rows = []
+    for row_value in row_values:
+        row: list[object] = [row_value]
+        for col_value in col_values:
+            cells = list(cell(row_value, col_value))
+            if len(cells) != len(cell_columns):
+                raise HarnessError(
+                    f"pivot cell ({row_value!r}, {col_value!r}) returned "
+                    f"{len(cells)} values for {len(cell_columns)} columns"
+                )
+            row.extend(cells)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_group_summaries(
+    axis: str,
+    groups: Mapping[Any, Any],
+    title: str | None = None,
+) -> str:
+    """Pooled variability per axis value (a ``group_summaries()`` mapping).
+
+    One row per value: sample size, mean/min/max in microseconds, CV and
+    normalized min/max — the paper's variability metrics along one axis.
+    """
+    rows = [
+        [
+            value,
+            s.n,
+            f"{to_us(s.mean):.2f}",
+            f"{to_us(s.minimum):.2f}",
+            f"{to_us(s.maximum):.2f}",
+            f"{s.cv:.4f}",
+            f"{s.norm_min:.3f}",
+            f"{s.norm_max:.3f}",
+        ]
+        for value, s in groups.items()
+    ]
+    return render_table(
+        [axis, "n", "mean us", "min us", "max us", "CV", "norm min", "norm max"],
+        rows,
+        title=title,
+    )
+
+
+def render_study_overview(
+    result: "StudyResult",
+    label: str | Callable[..., str] | None = None,
+    title: str | None = None,
+) -> str:
+    """One pooled row per config of a study: axis values + variability.
+
+    ``label`` selects the measurement series exactly as in
+    :meth:`~repro.harness.study.StudyResult.group_summaries`.
+    """
+    from repro.harness.study import config_value
+    from repro.stats.descriptive import summarize
+
+    axes = result.record_axes()
+    rows = []
+    for cfg, res in result:
+        series = result._resolve_label(cfg, res, label)
+        s = summarize(res.runs_matrix(series).ravel())
+        rows.append(
+            [
+                *(config_value(cfg, name) for name in axes),
+                series,
+                s.n,
+                f"{to_us(s.mean):.2f}",
+                f"{s.cv:.4f}",
+                f"{s.norm_min:.3f}",
+                f"{s.norm_max:.3f}",
+            ]
+        )
+    return render_table(
+        [*axes, "label", "n", "mean us", "CV", "norm min", "norm max"],
+        rows,
+        title=title,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ import numpy as np
 from repro.errors import HarnessError
 from repro.harness.config import ExperimentConfig
 from repro.harness.freqlogger import FrequencyLog
+from repro.stats.descriptive import summarize
 from repro.stats.variability import VariabilityReport
 
 
@@ -86,6 +87,37 @@ class ExperimentResult:
 
     def reports(self) -> dict[str, VariabilityReport]:
         return {label: self.report(label) for label in self.labels()}
+
+    def to_records(self) -> list[dict]:
+        """Tidy per-run summary rows: one per measurement label x run.
+
+        Each row carries the ``label``, the ``run`` index, and the summary
+        statistics of that run's repetition times.  The Study layer
+        (:meth:`repro.harness.study.StudyResult.to_records`) prefixes these
+        rows with the sweep's axis columns to form the long-form export.
+        """
+        records: list[dict] = []
+        for label in self.labels():
+            for rec in self.records:
+                s = summarize(np.asarray(rec.series[label], dtype=np.float64))
+                records.append(
+                    {
+                        "label": label,
+                        "run": rec.run_index,
+                        "n": s.n,
+                        "mean": s.mean,
+                        "sd": s.sd,
+                        "min": s.minimum,
+                        "p25": s.p25,
+                        "median": s.median,
+                        "p75": s.p75,
+                        "max": s.maximum,
+                        "cv": s.cv,
+                        "norm_min": s.norm_min,
+                        "norm_max": s.norm_max,
+                    }
+                )
+        return records
 
     # -- serialization -----------------------------------------------------------
 

@@ -10,7 +10,7 @@ from repro.bench.babelstream import BabelStream, BabelStreamParams
 from repro.bench.epcc.schedbench import Schedbench, SchedbenchParams
 from repro.bench.epcc.syncbench import Syncbench, SyncbenchParams
 from repro.bench.taskbench import Taskbench, TaskbenchParams
-from repro.errors import HarnessError
+from repro.errors import ConfigurationError, HarnessError
 from repro.harness.config import ExperimentConfig
 from repro.harness.freqlogger import FrequencyLogger
 from repro.harness.results import ExperimentResult, RunRecord
@@ -48,6 +48,18 @@ class Runner:
     def _make_benchmark(self) -> Any:
         name = self.config.benchmark.lower()
         params = dict(self.config.benchmark_params)
+        try:
+            return self._build_benchmark(name, params)
+        except TypeError as exc:
+            # a mistyped/unknown benchmark parameter (e.g. --param bogus=1,
+            # or a sweep axis that matches no knob of this benchmark) fails
+            # the params-dataclass construction with TypeError; surface it
+            # as a configuration error instead of a raw traceback
+            raise ConfigurationError(
+                f"bad parameters for benchmark {name!r}: {exc}"
+            ) from exc
+
+    def _build_benchmark(self, name: str, params: dict) -> Any:
         if name == "syncbench":
             constructs = params.pop("constructs", None)
             bench = Syncbench(SyncbenchParams(**params))

@@ -1,0 +1,37 @@
+"""Reduced-scale driver kwargs shared by the golden regression test.
+
+``tests/golden/<name>.txt`` holds each registered driver's rendered
+artifact at exactly these arguments, captured from the pre-Study
+hand-rolled drivers.  The Study rewrite must reproduce every file
+byte-for-byte (``tests/test_study.py::TestGoldenArtifacts``).
+"""
+
+GOLDEN_KWARGS: dict[str, dict] = {
+    "table2": dict(runs=2, outer_reps=5, seed=3),
+    "figure1": dict(
+        runs=2, outer_reps=5, seed=3,
+        dardel_threads=(4, 16), vera_threads=(2, 8),
+    ),
+    "figure2": dict(
+        runs=2, num_times=5, seed=3,
+        dardel_threads=(4, 16), vera_threads=(2, 8),
+    ),
+    "figure3": dict(
+        runs=2, outer_reps=5, num_times=5, seed=3,
+        dardel_threads=(4, 16), vera_threads=(2, 8),
+    ),
+    "figure4": dict(runs=2, outer_reps=5, num_times=5, seed=3),
+    "figure5": dict(runs=2, outer_reps=5, num_times=5, seed=3),
+    "figure6": dict(runs=2, outer_reps=6, seed=3),
+    "figure7": dict(runs=2, outer_reps=6, seed=3),
+    "figure8": dict(
+        runs=2, outer_reps=3, seed=3,
+        threads=(2, 4), grainsizes=(1, 8),
+        noise_profiles=("default", "quiet"), total_iters=64,
+    ),
+    "runtime_compare": dict(
+        runs=2, outer_reps=3, seed=3,
+        dardel_threads=(16, 64), vera_threads=(8,),
+        runtimes=("gnu", "llvm"), wait_policies=("active", "passive"),
+    ),
+}

@@ -108,3 +108,128 @@ class TestRun:
         ])
         assert rc == 1
         assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestParamCoercion:
+    """--param / --grid values coerce numbers, booleans and None."""
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("7", 7),
+            ("2.5", 2.5),
+            ("true", True),
+            ("True", True),
+            ("FALSE", False),
+            ("none", None),
+            ("None", None),
+            ("fib", "fib"),
+        ],
+    )
+    def test_coercions(self, raw, expected):
+        from repro.cli import _parse_param
+
+        key, value = _parse_param(f"k={raw}")
+        assert key == "k"
+        assert value == expected and type(value) is type(expected)
+
+
+class TestSweep:
+    def test_grid_sweep_report_and_csv_export(self, capsys, tmp_path):
+        out = tmp_path / "sweep.csv"
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "2", "--reps", "4",
+            "--grid", "num_threads=2,4", "--grid", "runtime=gnu,llvm",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "4 configuration(s)" in text
+        assert "swept axes: num_threads, runtime" in text
+        assert "pooled variability by num_threads" in text
+        assert "pooled variability by runtime" in text
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("platform,benchmark,num_threads,runtime,label")
+        assert len(lines) > 1  # non-empty tidy export
+
+    def test_zip_sweep_and_json_export(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "1", "--reps", "3",
+            "--zip", "num_threads=2,4", "--zip", "schedule=static,dynamic",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["axes"] == ["platform", "benchmark", "num_threads", "schedule"]
+        assert data["records"]
+        swept = {(r["num_threads"], r["schedule"]) for r in data["records"]}
+        assert swept == {(2, "static"), (4, "dynamic")}
+
+    def test_group_by_and_label_selection(self, capsys):
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "1", "--reps", "3",
+            "--grid", "num_threads=2,4",
+            "--group-by", "num_threads", "--label", "reduction.overhead",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "reduction.overhead" in text
+        assert "pooled variability by num_threads" in text
+
+    def test_benchmark_param_axis_falls_through(self, capsys):
+        rc = main([
+            "sweep", "--platform", "toy", "--benchmark", "taskbench",
+            "--threads", "2", "--runs", "1", "--reps", "2",
+            "--param", "total_iters=32", "--grid", "grainsize=1,4",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "taskloop_g1" in text and "taskloop_g4" in text
+
+    def test_reps_follows_swept_benchmark_axis(self, capsys):
+        # --reps must map to num_times for babelstream configs and to
+        # outer_reps for the others, even when benchmark is a swept axis
+        rc = main([
+            "sweep", "--platform", "toy", "--threads", "2", "--runs", "1",
+            "--reps", "3", "--grid", "benchmark=syncbench,babelstream",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "2 configuration(s)" in text
+        assert "reduction" in text and "copy" in text
+
+    def test_proc_bind_axis_keeps_false_as_string(self, capsys):
+        # proc_bind="false" is a legal string value (OS placement), not a
+        # boolean — the figure-4-style pinning sweep must work from the CLI
+        rc = main([
+            "sweep", "--platform", "toy", "--threads", "2", "--runs", "1",
+            "--reps", "3",
+            "--zip", "proc_bind=false,close", "--zip", "places=none,cores",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "2 configuration(s)" in text
+        assert "pooled variability by proc_bind" in text
+
+    def test_mismatched_zip_returns_one(self, capsys):
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "1",
+            "--zip", "num_threads=2,4", "--zip", "schedule=static",
+        ])
+        assert rc == 1
+        assert "share a length" in capsys.readouterr().err
+
+    def test_bad_axis_returns_one(self, capsys):
+        rc = main(["sweep", "--platform", "toy", "--grid", "num_threads"])
+        assert rc == 1
+        assert "KEY=V1,V2" in capsys.readouterr().err
+
+    def test_unknown_benchmark_param_axis_returns_one(self, capsys):
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "1", "--reps", "3",
+            "--grid", "bogus_param=1,2",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "bogus_param" in err
