@@ -219,6 +219,20 @@ def _build_parser() -> argparse.ArgumentParser:
              "else CSV)",
     )
     _add_execution_flags(p_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure engine throughput (events/sec) and record the "
+             "numbers to a JSON report",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="~10x smaller workloads (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_engine.json", metavar="PATH",
+        help="where to write the JSON report (default: BENCH_engine.json)",
+    )
     return parser
 
 
@@ -364,6 +378,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import run_benchmarks, write_report
+
+    report = run_benchmarks(quick=args.quick)
+    report = write_report(report, args.out)
+    eng = report["engine"]
+    smoke = report["figure8_smoke"]
+    print("engine throughput (events/sec):")
+    print(f"  callbacks:     {eng['callback_events_per_sec']:>12,}")
+    print(f"  processes:     {eng['process_events_per_sec']:>12,}")
+    print(f"  cancel churn:  {eng['cancel_churn_events_per_sec']:>12,}")
+    print(
+        f"figure8 smoke:   {smoke['events_per_sec']:>12,} "
+        f"({smoke['events']} simulated events in {smoke['wall_seconds']:.3f}s)"
+    )
+    for key, factor in report.get("speedup_vs_baseline", {}).items():
+        print(f"  {factor:5.2f}x vs recorded baseline: {key}")
+    print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -377,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -27,7 +27,7 @@ import numpy as np
 from repro.errors import FrequencyError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrequencyDip:
     """One transient frequency reduction on one socket."""
 

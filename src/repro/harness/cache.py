@@ -27,7 +27,9 @@ Corrupt or unreadable entries are treated as misses and deleted; stale
 on :meth:`ResultCache.clear`.
 
 The cache keeps ``hits`` / ``misses`` / ``stores`` counters so callers (and
-tests) can assert that a warmed cache performs zero new simulation runs.
+tests) can assert that a warmed cache performs zero new simulation runs;
+:meth:`ResultCache.clear` resets them along with the entries, so counts
+always describe the cache contents since the last clear.
 """
 
 from __future__ import annotations
@@ -189,12 +191,21 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry (and stale tmp files); returns the number of
         *entries* removed.  A live concurrent writer's in-flight tmp is
-        spared — deleting it would crash that writer's rename."""
+        spared — deleting it would crash that writer's rename.
+
+        The ``hits`` / ``misses`` / ``stores`` counters are reset too: a
+        cleared cache is an empty cache, and a test that clears between
+        sweeps must read counts for the re-run alone, not stale totals
+        accumulated before the clear.
+        """
         removed = 0
         for entry in self.cache_dir.glob("*.json"):
             entry.unlink(missing_ok=True)
             removed += 1
         self.sweep_stale_tmp()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
         return removed
 
     def __len__(self) -> int:

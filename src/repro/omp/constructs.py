@@ -158,6 +158,12 @@ class SyncCostModel:
         #: graded by the profile's spin-before-sleep threshold against the
         #: characteristic re-entry cadence of the benchmarks).
         self.sleep_share = self.profile.sleep_share(TYPICAL_REGION_GAP)
+        #: Per-team memo of the pure cost formulas below.  Every input is
+        #: frozen (params, profile, sched constants) and the team-derived
+        #: facts depend only on (machine, cpus, bound), so costs are cached
+        #: under that key — benchmark loops ask for the same team's fork /
+        #: barrier cost once per repetition.
+        self._cost_cache: dict[tuple, float] = {}
 
     # -- building blocks -----------------------------------------------------
 
@@ -165,8 +171,20 @@ class SyncCostModel:
         """SMT latency factor, graded by how many waiters actually spin."""
         return 1.0 + (self.params.smt_sync_factor - 1.0) * (1.0 - self.sleep_share)
 
+    def _cached(self, tag: str, team: Team, compute) -> float:
+        """Memo lookup for a pure per-team cost formula (see __init__)."""
+        key = (tag, team.machine.name, team.cpus, team.bound)
+        value = self._cost_cache.get(key)
+        if value is None:
+            value = compute(team)
+            self._cost_cache[key] = value
+        return value
+
     def effective_line_latency(self, team: Team) -> float:
         """Distance-weighted cache-line transfer latency for the team."""
+        return self._cached("l_eff", team, self._effective_line_latency)
+
+    def _effective_line_latency(self, team: Team) -> float:
         p = self.params
         f_socket = team.outside_master_socket_fraction
         f_numa = max(0.0, team.outside_master_numa_fraction - f_socket)
@@ -183,6 +201,9 @@ class SyncCostModel:
 
     def barrier_cost(self, team: Team) -> float:
         """One full barrier (gather + release, per the vendor's algorithm)."""
+        return self._cached("barrier", team, self._barrier_cost)
+
+    def _barrier_cost(self, team: Team) -> float:
         n = team.n_threads
         if n == 1:
             return 0.0
@@ -197,6 +218,9 @@ class SyncCostModel:
 
     def fork_cost(self, team: Team) -> float:
         """Open a parallel region: wake/signal each worker."""
+        return self._cached("fork", team, self._fork_cost)
+
+    def _fork_cost(self, team: Team) -> float:
         n = team.n_threads
         if n == 1:
             return 0.0

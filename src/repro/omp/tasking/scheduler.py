@@ -144,6 +144,9 @@ class WorkStealingScheduler:
         self.noise = noise
         self.streams = list(streams)
         self.max_events = max_events
+        # per-thread hot-path lookups, resolved once per scheduler
+        self._stolen_sets = [noise.stolen_on(cpu) for cpu in team.cpus]
+        self._smt_shared = [bool(s) for s in team.smt_shared]
 
     # -- helpers -------------------------------------------------------------
 
@@ -158,12 +161,12 @@ class WorkStealingScheduler:
         if work <= 0:
             return 0.0
         p = self.cost_model.params
-        if self.team.smt_shared[thread]:
+        if self._smt_shared[thread]:
             work = work / p.smt_efficiency
         cpu = self.team.cpus[thread]
         cycles = work * self.freq_plan.calibration_hz
         dur = self.freq_plan.duration_for_cycles(cpu, t, cycles)
-        dur += self.noise.stolen_on(cpu).overlap(t, t + dur)
+        dur += self._stolen_sets[thread].overlap(t, t + dur)
         return dur
 
     def _default_cap(self, total_tasks: int) -> int:
@@ -205,7 +208,9 @@ class WorkStealingScheduler:
         for task in initial:
             deques[initial_owner].push(task)
 
-        state = _SchedulerState(outstanding=len(initial), t_done=t_start)
+        state = _SchedulerState(
+            outstanding=len(initial), t_done=t_start, queued=len(initial)
+        )
         tasks_executed = np.zeros(n, dtype=np.int64)
         steals = np.zeros(n, dtype=np.int64)
         failed = np.zeros(n, dtype=np.int64)
@@ -218,51 +223,57 @@ class WorkStealingScheduler:
         steal_cost = self.cost_model.steal_cost(self.team)
         failed_cost = self.cost_model.failed_steal_cost(self.team)
         jitter_sigma = self.cost_model.params.work_jitter_sigma
+        jitter_mean = -0.5 * jitter_sigma**2
+        clock = engine.clock
 
         def execute(i: int, task: Task):
             """Spawn children, then run the body (generator fragment)."""
-            if task.children:
-                for child in task.children:
-                    deques[i].push(child)
-                state.outstanding += len(task.children)
-                spawn_cost = len(task.children) * create_cost
+            children = task.children
+            if children:
+                deque_i = deques[i]
+                for child in children:
+                    deque_i.push(child)
+                state.outstanding += len(children)
+                state.queued += len(children)
+                spawn_cost = len(children) * create_cost
                 overhead[i] += spawn_cost
                 yield Timeout(spawn_cost)
             work = task.work
             if jitter_sigma > 0.0 and work > 0.0:
                 work *= float(
-                    self.streams[i].lognormal(
-                        mean=-0.5 * jitter_sigma**2, sigma=jitter_sigma
-                    )
+                    self.streams[i].lognormal(mean=jitter_mean, sigma=jitter_sigma)
                 )
-            dur = self._body_duration(i, engine.clock.now, work)
+            dur = self._body_duration(i, clock.now, work)
             busy[i] += dur
             yield Timeout(dur)
             tasks_executed[i] += 1
             state.outstanding -= 1
             if state.outstanding == 0:
-                state.t_done = engine.clock.now
+                state.t_done = clock.now
             elif state.outstanding < 0:  # pragma: no cover - invariant
                 raise SimulationError("task accounting went negative")
 
         def worker(i: int):
             rng = self.streams[i]
+            deque_i = deques[i]
             failed_scans = 0
             while state.outstanding > 0:
-                if deques[i]:
+                if deque_i:
                     failed_scans = 0
-                    task = deques[i].pop()
+                    task = deque_i.pop()
+                    state.queued -= 1
                     overhead[i] += pop_cost
                     yield Timeout(pop_cost)
                     yield from execute(i, task)
                     continue
                 # out of local work: probe the other deques in random order
                 # and take from the first non-empty one
-                victim, empty_probes = self._scan_victims(i, deques, rng)
+                victim, empty_probes = self._scan_victims(i, deques, rng, state.queued)
                 failed[i] += empty_probes
                 if victim is not None:
                     failed_scans = 0
                     task = deques[victim].steal()
+                    state.queued -= 1
                     steals[i] += 1
                     cost = empty_probes * failed_cost + steal_cost
                     overhead[i] += cost
@@ -303,6 +314,7 @@ class WorkStealingScheduler:
         thief: int,
         deques: Sequence[TaskDeque],
         rng: np.random.Generator,
+        queued: int = 1,
     ) -> tuple[int | None, int]:
         """One steal scan: probe the other threads in uniform random order.
 
@@ -312,22 +324,38 @@ class WorkStealingScheduler:
         probed is uniform over the team, so a lone producer is found after
         ``(n-1)/2`` empty probes in expectation rather than the geometric
         tail a probe-one-then-backoff thief would suffer.
+
+        *queued* is the scheduler's count of tasks currently sitting in any
+        deque.  The visit order is **always** drawn (RNG draw order per
+        thread stream is the determinism contract — see
+        ``docs/performance.md``), but when the caller knows every deque is
+        empty the probe loop is skipped: the outcome is forced to the
+        all-probes-empty result the loop would have produced.
         """
         n = self.team.n_threads
         if n == 1:
             return None, 0
+        order = rng.permutation(n - 1)
+        if queued <= 0:  # nothing stealable anywhere: every probe would miss
+            return None, n - 1
         empty_probes = 0
-        for idx in rng.permutation(n - 1):
-            victim = int(idx) + 1 if int(idx) >= thief else int(idx)
+        for idx in order.tolist():
+            victim = idx + 1 if idx >= thief else idx
             if deques[victim]:
                 return victim, empty_probes
             empty_probes += 1
         return None, empty_probes
 
 
-@dataclass
+@dataclass(slots=True)
 class _SchedulerState:
-    """Mutable shared state of one scheduling episode."""
+    """Mutable shared state of one scheduling episode.
+
+    ``outstanding`` counts tasks not yet finished executing; ``queued``
+    counts tasks currently sitting in some deque (stealable), which lets an
+    out-of-work thief skip probing when the whole team is drained.
+    """
 
     outstanding: int
     t_done: float
+    queued: int = 0

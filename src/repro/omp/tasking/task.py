@@ -25,7 +25,7 @@ from typing import Iterator
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Task:
     """One node of a task graph."""
 

@@ -53,6 +53,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
@@ -176,25 +177,13 @@ class RuntimeProfile:
     # -- barrier shape ---------------------------------------------------------
 
     def barrier_span(self, n_threads: int) -> float:
-        """Serialized line-transfer rounds of one full barrier for *n* threads."""
-        n = n_threads
-        if n <= 1:
-            return 0.0
-        algo = self.barrier_algorithm
-        if algo is BarrierAlgorithm.GATHER_RELEASE:
-            return 2.0 * math.ceil(math.log2(n))
-        if algo is BarrierAlgorithm.HYPER:
-            b = self.barrier_branching
-            # integer ceil(log_b n): float log-division overcounts a round
-            # at exact powers of non-power-of-2 branchings (e.g. b=5, n=125)
-            rounds, reach = 0, 1
-            while reach < n:
-                reach *= b
-                rounds += 1
-            return 2.0 * rounds * (1.0 + HYPER_CHILD_OVERLAP * (b - 1))
-        if algo is BarrierAlgorithm.CENTRALIZED:
-            return float(n - 1) + math.ceil(math.log2(n))
-        raise ConfigurationError(f"unknown barrier algorithm {algo!r}")
+        """Serialized line-transfer rounds of one full barrier for *n* threads.
+
+        A pure function of ``(profile, n_threads)``, so results are memoized
+        (the sync cost model asks per construct instance — hundreds of
+        thousands of times per sweep for a handful of distinct team sizes).
+        """
+        return _barrier_span(self, n_threads)
 
     # -- environment overrides ----------------------------------------------------
 
@@ -228,6 +217,30 @@ class RuntimeProfile:
             f"{self.vendor}: {self.barrier_algorithm.value} barrier"
             f"(b={self.barrier_branching}), {self.wait_policy.value} wait ({spin})"
         )
+
+
+@lru_cache(maxsize=4096)
+def _barrier_span(profile: RuntimeProfile, n_threads: int) -> float:
+    """Memoized body of :meth:`RuntimeProfile.barrier_span` (profiles are
+    frozen/hashable, so ``(profile, n)`` is a sound cache key)."""
+    n = n_threads
+    if n <= 1:
+        return 0.0
+    algo = profile.barrier_algorithm
+    if algo is BarrierAlgorithm.GATHER_RELEASE:
+        return 2.0 * math.ceil(math.log2(n))
+    if algo is BarrierAlgorithm.HYPER:
+        b = profile.barrier_branching
+        # integer ceil(log_b n): float log-division overcounts a round
+        # at exact powers of non-power-of-2 branchings (e.g. b=5, n=125)
+        rounds, reach = 0, 1
+        while reach < n:
+            reach *= b
+            rounds += 1
+        return 2.0 * rounds * (1.0 + HYPER_CHILD_OVERLAP * (b - 1))
+    if algo is BarrierAlgorithm.CENTRALIZED:
+        return float(n - 1) + math.ceil(math.log2(n))
+    raise ConfigurationError(f"unknown barrier algorithm {algo!r}")
 
 
 def _gnu_profile() -> RuntimeProfile:

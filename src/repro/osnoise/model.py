@@ -32,7 +32,7 @@ from repro.sim.intervals import IntervalSet
 from repro.topology.hwthread import Machine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlacedEvent:
     """A noise event with its final CPU assignment."""
 
@@ -178,6 +178,14 @@ class NoiseModel:
         cpu_parts: list[np.ndarray] = []
         kinds: list[str] = []
         unplaced: list[NoiseEvent] = []
+        def _append_events(evs) -> None:
+            """Flush a block of assigned events as flat arrays (one append
+            per block instead of one single-element array per event)."""
+            starts_parts.append(np.asarray([e.start for e in evs]))
+            dur_parts.append(np.asarray([e.duration for e in evs]))
+            cpu_parts.append(np.asarray([e.cpu for e in evs]))
+            kinds.extend(e.kind for e in evs)
+
         for source in self.sources:
             sampled = source.sample_arrays(t_start, t_end, busy_cpus, rng)
             if sampled is not None:
@@ -187,14 +195,14 @@ class NoiseModel:
                 cpu_parts.append(c)
                 kinds.extend([kind] * s.size)
                 continue
+            assigned = []
             for ev in source.sample(t_start, t_end, busy_cpus, rng):
                 if ev.cpu is not None:
-                    starts_parts.append(np.asarray([ev.start]))
-                    dur_parts.append(np.asarray([ev.duration]))
-                    cpu_parts.append(np.asarray([ev.cpu]))
-                    kinds.append(ev.kind)
+                    assigned.append(ev)
                 else:
                     unplaced.append(ev)
+            if assigned:
+                _append_events(assigned)
 
         if unplaced:
             placed_events = self.placement.place(unplaced, self.machine, busy_cpus, rng)
@@ -203,10 +211,7 @@ class NoiseModel:
                     raise NoiseModelError(
                         f"placement left event {ev.kind!r} at t={ev.start} unassigned"
                     )
-                starts_parts.append(np.asarray([ev.start]))
-                dur_parts.append(np.asarray([ev.duration]))
-                cpu_parts.append(np.asarray([ev.cpu]))
-                kinds.append(ev.kind)
+            _append_events(placed_events)
 
         if starts_parts:
             starts = np.concatenate(starts_parts)

@@ -56,21 +56,28 @@ class IdleFirstPlacement(PlacementPolicy):
             c for c in range(machine.n_cpus)
             if c not in busy and machine.hwthread(c).core_id in busy_cores
         ]
-        all_cpus = np.arange(machine.n_cpus)
 
-        out: list[NoiseEvent] = []
-        for ev in events:
-            if ev.cpu is not None:
-                out.append(ev)
-                continue
-            if idle_free_cores:
-                cpu = int(rng.choice(idle_free_cores))
-            elif idle_siblings:
-                cpu = int(rng.choice(idle_siblings))
-            else:
-                cpu = int(rng.choice(all_cpus))
-            out.append(placed(ev, cpu))
-        return out
+        # the preference pool is invariant over one placement pass (the
+        # idle sets depend only on busy_cpus), so all events draw from the
+        # same pool and the per-event draws batch into one pre-drawn array.
+        # A batched ``choice(pool, size=n)`` consumes the generator's
+        # stream exactly like n scalar ``choice(pool)`` calls, so event
+        # CPU assignments are bit-identical to the historical loop (this
+        # is locked by a regression test in tests/test_rng.py).
+        if idle_free_cores:
+            pool = idle_free_cores
+        elif idle_siblings:
+            pool = idle_siblings
+        else:
+            pool = np.arange(machine.n_cpus)
+
+        n_unassigned = sum(1 for ev in events if ev.cpu is None)
+        drawn = rng.choice(pool, size=n_unassigned) if n_unassigned else ()
+        cpus = iter(drawn)
+        return [
+            ev if ev.cpu is not None else placed(ev, int(next(cpus)))
+            for ev in events
+        ]
 
 
 class PinnedPlacement(PlacementPolicy):
@@ -89,10 +96,10 @@ class PinnedPlacement(PlacementPolicy):
             if cpu >= machine.n_cpus:
                 raise NoiseModelError(f"cpu {cpu} not on {machine.name}")
         choices = np.asarray(self.cpus)
-        out = []
-        for ev in events:
-            if ev.cpu is not None:
-                out.append(ev)
-            else:
-                out.append(placed(ev, int(rng.choice(choices))))
-        return out
+        n_unassigned = sum(1 for ev in events if ev.cpu is None)
+        drawn = rng.choice(choices, size=n_unassigned) if n_unassigned else ()
+        cpus = iter(drawn)
+        return [
+            ev if ev.cpu is not None else placed(ev, int(next(cpus)))
+            for ev in events
+        ]

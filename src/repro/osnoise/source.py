@@ -22,7 +22,7 @@ import numpy as np
 from repro.errors import NoiseModelError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoiseEvent:
     """One OS activity stealing CPU: ``[start, start+duration)``.
 

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.sched.wakeup import WakeupPlacer
 from repro.topology.hwthread import Machine
 
 
+@lru_cache(maxsize=4096)
 def wakeup_path_cost(params: SchedParams, n_wakes: int) -> float:
     """Deterministic critical-path cost of *n_wakes* scheduler wakeups.
 
@@ -33,6 +35,9 @@ def wakeup_path_cost(params: SchedParams, n_wakes: int) -> float:
     Passive-wait-policy runtimes pay this on every signal that reaches a
     sleeping waiter (region fork, barrier release); see
     :class:`repro.omp.constructs.SyncCostModel`.
+
+    A pure function of its (hashable, frozen) arguments, memoized because
+    passive-profile sweeps evaluate it per construct instance.
     """
     if n_wakes <= 0:
         return 0.0

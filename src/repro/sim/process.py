@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timeout:
     """Command: resume the yielding process after ``delay`` seconds."""
 
@@ -26,13 +26,19 @@ def waituntil(now: float, t: float) -> Timeout:
 
 
 class Process:
-    """A running generator with liveness tracking."""
+    """A running generator with liveness tracking.
 
-    __slots__ = ("generator", "name", "_alive", "_result")
+    ``resume`` is the engine's per-process trampoline: one closure bound at
+    spawn time that steps the generator, reused for every re-schedule so
+    the event hot path allocates no per-step lambda.
+    """
+
+    __slots__ = ("generator", "name", "resume", "_alive", "_result")
 
     def __init__(self, generator: Generator, name: str = "proc"):
         self.generator = generator
         self.name = name
+        self.resume: Any = None
         self._alive = True
         self._result: Any = None
 

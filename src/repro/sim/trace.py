@@ -12,7 +12,9 @@ until a core running at frequency f(t) retires W cycles?*
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from math import inf
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -20,7 +22,7 @@ import numpy as np
 from repro.errors import TraceError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceSample:
     """One (time, value) observation, e.g. a frequency-logger reading."""
 
@@ -41,7 +43,7 @@ class PiecewiseConstant:
         ``len(values) == len(times)``.
     """
 
-    __slots__ = ("times", "values")
+    __slots__ = ("times", "values", "_lists")
 
     def __init__(self, times: Sequence[float], values: Sequence[float]):
         t = np.asarray(times, dtype=np.float64)
@@ -56,6 +58,7 @@ class PiecewiseConstant:
             raise TraceError("breakpoints must be strictly increasing")
         object.__setattr__(self, "times", t)
         object.__setattr__(self, "values", v)
+        object.__setattr__(self, "_lists", None)
 
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("PiecewiseConstant is immutable")
@@ -95,6 +98,20 @@ class PiecewiseConstant:
     def __len__(self) -> int:
         return int(self.times.size)
 
+    def _as_lists(self) -> tuple[list[float], list[float]]:
+        """Times/values as plain Python lists, built once on first use.
+
+        Scalar queries dominate the simulation hot path (one per task body
+        / region segment); ``bisect`` over a float list plus list indexing
+        avoids a NumPy round-trip per query while returning the exact same
+        float64 values.
+        """
+        cached = self._lists
+        if cached is None:
+            cached = (self.times.tolist(), self.values.tolist())
+            object.__setattr__(self, "_lists", cached)
+        return cached
+
     def _segment_index(self, t: np.ndarray) -> np.ndarray:
         idx = np.searchsorted(self.times, t, side="right") - 1
         if np.any(idx < 0):
@@ -103,8 +120,18 @@ class PiecewiseConstant:
             )
         return idx
 
+    def _seg_idx(self, t: float) -> int:
+        """Scalar segment lookup (same semantics as :meth:`_segment_index`)."""
+        times, _ = self._as_lists()
+        idx = bisect_right(times, t) - 1
+        if idx < 0:
+            raise TraceError(f"query before trace start {self.start}: min t = {t}")
+        return idx
+
     def value_at(self, t):
         """Signal value at time(s) *t* (scalar or array)."""
+        if type(t) is float or type(t) is int:
+            return self._as_lists()[1][self._seg_idx(t)]
         t_arr = np.asarray(t, dtype=np.float64)
         idx = self._segment_index(np.atleast_1d(t_arr))
         out = self.values[idx]
@@ -116,16 +143,17 @@ class PiecewiseConstant:
             raise TraceError(f"integrate: b={b} < a={a}")
         if b == a:
             return 0.0
-        ia = int(self._segment_index(np.asarray([a]))[0])
-        ib = int(self._segment_index(np.asarray([b]))[0])
+        ia = self._seg_idx(a)
+        ib = self._seg_idx(b)
+        times, values = self._as_lists()
         if ia == ib:
-            return float(self.values[ia] * (b - a))
-        total = float(self.values[ia] * (self.times[ia + 1] - a))
+            return float(values[ia] * (b - a))
+        total = values[ia] * (times[ia + 1] - a)
         if ib > ia + 1:
             seg_lens = np.diff(self.times[ia + 1 : ib + 1])
             total += float(np.dot(self.values[ia + 1 : ib], seg_lens))
-        total += float(self.values[ib] * (b - self.times[ib]))
-        return total
+        total += values[ib] * (b - times[ib])
+        return float(total)
 
     def mean(self, a: float, b: float) -> float:
         """Time-average of the signal over ``[a, b]`` (``a < b``)."""
@@ -142,17 +170,18 @@ class PiecewiseConstant:
             raise TraceError(f"invert_integral: negative target {target}")
         if target == 0:
             return a
-        idx = int(self._segment_index(np.asarray([a]))[0])
+        idx = self._seg_idx(a)
+        times, values = self._as_lists()
         t = a
         remaining = float(target)
-        n = len(self)
+        n = len(times)
         while True:
-            v = float(self.values[idx])
+            v = values[idx]
             if v <= 0:
                 raise TraceError(
                     f"invert_integral requires positive signal, got {v} at segment {idx}"
                 )
-            seg_end = float(self.times[idx + 1]) if idx + 1 < n else np.inf
+            seg_end = times[idx + 1] if idx + 1 < n else inf
             capacity = v * (seg_end - t)
             if remaining <= capacity:
                 return t + remaining / v

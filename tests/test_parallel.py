@@ -148,6 +148,21 @@ class TestResultCache:
         assert cache.clear() == 2
         assert len(cache) == 0
 
+    def test_clear_resets_counters(self, tmp_path):
+        """Regression: hits/misses/stores survived clear(), so a test that
+        cleared and re-ran read stale counts from before the clear."""
+        cache = ResultCache(tmp_path)
+        cfg = _cfg()
+        assert cache.get(cfg) is None  # miss
+        cache.put(Runner(cfg).run())  # store
+        assert cache.get(cfg) is not None  # hit
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.stores) == (0, 0, 0)
+        # counters now describe only post-clear traffic
+        assert cache.get(cfg) is None
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 0)
+
     def test_stale_tmp_swept_on_init(self, tmp_path):
         """Regression: tmp files from crashed writers leaked forever."""
         dead = (tmp_path / "abc.json.tmp.999999999")  # pid can't exist
