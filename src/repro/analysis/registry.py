@@ -1,0 +1,111 @@
+"""Rule model and registry.
+
+A rule is a small class: identity (``id``/``title``), documentation
+(``rationale``/``fix_hint`` — rendered by ``repro-omp lint --list-rules``
+and the docs), a package scope, the AST node types it wants to see, and a
+``visit`` hook.  Rules register themselves via the :func:`register_rule`
+decorator at import time; the runner imports the rule modules and asks
+the registry for instances, so adding a rule is one class in one module
+with no dispatch edits anywhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.context import FileContext
+    from repro.analysis.visitor import WalkState
+
+#: Reporter callback handed to ``Rule.visit``: ``report(node, message,
+#: fix_hint=...)``.  Bound by the analyzer to (rule, file, findings list).
+Reporter = Callable[..., None]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`visit`
+    (called for every node whose type is in ``node_types``) and/or
+    :meth:`end_file` (called once per file, for whole-file checks).
+    """
+
+    #: Stable identifier, e.g. ``"DET001"``.
+    id: str = ""
+    #: One-line summary shown in ``--list-rules``.
+    title: str = ""
+    #: Why the rule exists (the invariant it protects).
+    rationale: str = ""
+    #: Default remediation advice attached to findings.
+    fix_hint: str = ""
+    #: Sub-packages of ``repro`` the rule applies to; ``None`` = all files.
+    packages: tuple[str, ...] | None = None
+    #: AST node types dispatched to :meth:`visit`.
+    node_types: tuple[type, ...] = ()
+
+    def applies(self, ctx: "FileContext") -> bool:
+        """Whether this rule runs on *ctx* at all (package scoping)."""
+        if self.packages is None:
+            return True
+        return ctx.in_package(*self.packages)
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        """Reset any per-file state (called before the walk)."""
+
+    def visit(
+        self, node: ast.AST, ctx: "FileContext", state: "WalkState",
+        report: Reporter,
+    ) -> None:
+        """Inspect one node; call ``report`` for each violation."""
+
+    def end_file(
+        self, ctx: "FileContext", state: "WalkState", report: Reporter
+    ) -> None:
+        """Whole-file checks (called after the walk)."""
+
+
+#: id -> rule instance, populated by :func:`register_rule`.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its ``id``."""
+    if not cls.id:
+        raise AnalysisError(f"rule class {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise AnalysisError(f"rule {cls.id!r} registered twice")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def available_rules() -> tuple[str, ...]:
+    _load_builtin_rules()
+    return tuple(sorted(RULES))
+
+
+def get_rules(ids: Iterable[str] | None = None) -> tuple[Rule, ...]:
+    """Rule instances for *ids* (default: every registered rule).
+
+    Unknown ids raise :class:`~repro.errors.AnalysisError` naming the
+    valid choices.
+    """
+    _load_builtin_rules()
+    if ids is None:
+        return tuple(RULES[k] for k in sorted(RULES))
+    rules = []
+    for rule_id in ids:
+        if rule_id not in RULES:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r}; choose from {available_rules()}"
+            )
+        rules.append(RULES[rule_id])
+    return tuple(rules)
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (idempotent: registration happens
+    at first import)."""
+    from repro.analysis import rules_api, rules_det, rules_perf  # noqa: F401

@@ -1,0 +1,147 @@
+"""Hot-path contract rules: PERF001 (``__slots__`` discipline) and
+PERF002 (no per-iteration closure allocation).
+
+The PR 5 engine overhaul bought its 2.2-2.8x by making the event loop
+allocation-free: slotted instances and one reusable trampoline per
+process.  These rules keep that discipline from eroding as the hot
+modules grow.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext
+from repro.analysis.registry import Reporter, Rule, register_rule
+from repro.analysis.visitor import WalkState
+
+#: The simulation hot path: every instance attribute read/write and every
+#: allocation in these packages happens O(events) times per run.
+HOT_PACKAGES = ("sim", "omp.tasking")
+
+#: Base-class names that make __slots__ pointless or impossible.
+_EXEMPT_BASES = {
+    "Exception", "BaseException", "Enum", "IntEnum", "StrEnum", "Flag",
+    "NamedTuple", "Protocol", "TypedDict", "type", "ABC",
+}
+
+
+def _base_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):  # Generic[...] / Protocol[...]
+        return _base_name(node.value)
+    return ""
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            targets = [t.id for t in item.targets if isinstance(t, ast.Name)]
+            if "__slots__" in targets:
+                return True
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "dataclass":
+            return deco
+    return None
+
+
+@register_rule
+class SlotsDiscipline(Rule):
+    """PERF001: hot-path classes must declare ``__slots__``."""
+
+    id = "PERF001"
+    title = "hot-path classes must declare __slots__"
+    rationale = (
+        "Instances in sim/ and omp/tasking/ are touched O(events) times "
+        "per run; a __dict__-backed attribute read is a hash lookup where "
+        "a slotted one is an indexed load, and every un-slotted instance "
+        "costs ~3x the memory.  The PR 5 speedups assumed (and the bench "
+        "trajectory tracks) slotted hot-path objects."
+    )
+    fix_hint = (
+        "add __slots__ = (...) to the class, or slots=True to its "
+        "@dataclass decorator"
+    )
+    packages = HOT_PACKAGES
+    node_types = (ast.ClassDef,)
+
+    def visit(
+        self, node: ast.ClassDef, ctx: FileContext, state: WalkState,
+        report: Reporter,
+    ) -> None:
+        base_names = {_base_name(b) for b in node.bases}
+        if base_names & _EXEMPT_BASES or any(
+            name.endswith(("Error", "Exception", "Warning")) for name in base_names
+        ):
+            return
+        if _declares_slots(node):
+            return
+        deco = _dataclass_decorator(node)
+        if deco is not None:
+            if isinstance(deco, ast.Call) and any(
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in deco.keywords
+            ):
+                return
+            report(
+                node,
+                f"hot-path dataclass {node.name!r} lacks slots=True",
+                fix_hint="add slots=True to the @dataclass(...) decorator",
+            )
+            return
+        report(node, f"hot-path class {node.name!r} declares no __slots__")
+
+
+@register_rule
+class NoClosureInLoop(Rule):
+    """PERF002: no closure/lambda allocation inside hot-path loops."""
+
+    id = "PERF002"
+    title = "no per-iteration closure/lambda allocation in hot loops"
+    rationale = (
+        "A lambda or def inside a for/while body allocates a fresh "
+        "function object every iteration.  On the event hot path that "
+        "was the dominant allocation churn before PR 5 (one lambda per "
+        "process step); the engine now binds one trampoline per process "
+        "precisely to avoid it, and new per-event closures would undo "
+        "that win invisibly."
+    )
+    fix_hint = (
+        "hoist the function out of the loop and bind loop variables via "
+        "default arguments, or store a reusable callable on the object "
+        "(the Process.resume trampoline pattern)"
+    )
+    packages = HOT_PACKAGES
+    node_types = (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext, state: WalkState,
+        report: Reporter,
+    ) -> None:
+        if state.loop_depth == 0:
+            return
+        kind = (
+            "lambda" if isinstance(node, ast.Lambda)
+            else f"nested function {node.name!r}"
+        )
+        report(
+            node,
+            f"{kind} is allocated on every iteration of an enclosing "
+            f"hot-path loop",
+        )

@@ -1,0 +1,165 @@
+"""Lint runner: file discovery, execution, baseline filtering, output.
+
+:func:`lint_paths` is the one entry point the CLI, CI and the self-lint
+test all use; :func:`lint_source` exists so tests can feed fixture
+snippets through the exact production pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.context import FileContext, normalize_path
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, get_rules
+from repro.analysis.visitor import Analyzer
+from repro.errors import AnalysisError
+
+JSON_SCHEMA_VERSION = 1
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """All ``.py`` files under *paths*, sorted for deterministic output."""
+    files: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if not p.exists():
+            raise AnalysisError(f"lint path does not exist: {p}")
+        if p.is_file():
+            if p.suffix == ".py":
+                files.add(p)
+            continue
+        for candidate in p.rglob("*.py"):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                files.add(candidate)
+    return sorted(files)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run.
+
+    ``findings`` are the live (non-suppressed) violations; ``suppressed``
+    pairs each baselined finding with the entry that excused it;
+    ``stale_entries`` are baseline entries that matched nothing.
+    """
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[tuple[Finding, BaselineEntry], ...] = ()
+    stale_entries: tuple[BaselineEntry, ...] = ()
+    files_checked: int = 0
+    rule_ids: tuple[str, ...] = ()
+    errors: tuple[Finding, ...] = field(default=(), compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run should exit 0 (no live error-severity findings)."""
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    rule_ids: list[str] | None = None,
+    module_parts: tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Lint one source string (the fixture-test entry point).
+
+    ``module_parts`` positions the snippet inside the package tree for
+    package-scoped rules, e.g. ``("repro", "sim", "fake")``.
+    """
+    ctx = FileContext(source, path, module_parts=module_parts)
+    return Analyzer(get_rules(rule_ids)).run(ctx)
+
+
+def _lint_file(path: Path, rules: tuple[Rule, ...]) -> list[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    try:
+        ctx = FileContext(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE001",
+                path=normalize_path(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                fix_hint="fix the syntax error; unparseable files are unchecked",
+            )
+        ]
+    return Analyzer(rules).run(ctx)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    rule_ids: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint every Python file under *paths* and fold in the baseline."""
+    rules = get_rules(rule_ids)
+    files = iter_python_files(paths)
+    live: list[Finding] = []
+    suppressed: list[tuple[Finding, BaselineEntry]] = []
+    for path in files:
+        for finding in _lint_file(path, rules):
+            entry = baseline.match(finding) if baseline is not None else None
+            if entry is not None:
+                suppressed.append((finding, entry))
+            else:
+                live.append(finding)
+    return LintReport(
+        findings=tuple(live),
+        suppressed=tuple(suppressed),
+        stale_entries=tuple(baseline.stale_entries()) if baseline else (),
+        files_checked=len(files),
+        rule_ids=tuple(rule.id for rule in rules),
+    )
+
+
+# -- output formats ---------------------------------------------------------
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable report (the default CLI output)."""
+    parts: list[str] = []
+    for finding in report.findings:
+        parts.append(finding.render())
+    if report.stale_entries:
+        parts.append("stale baseline entries (fixed? remove them):")
+        for entry in report.stale_entries:
+            parts.append(f"    {entry.rule} {entry.path}: {entry.snippet!r}")
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} baselined, "
+        f"{len(report.stale_entries)} stale baseline entr"
+        f"{'y' if len(report.stale_entries) == 1 else 'ies'} "
+        f"in {report.files_checked} file(s)"
+    )
+    parts.append(summary)
+    return "\n".join(parts)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (consumed by the CI lint job)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "rules": list(report.rule_ids),
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [
+            {**f.to_dict(), "reason": e.reason}
+            for f, e in report.suppressed
+        ],
+        "stale_baseline": [e.to_dict() for e in report.stale_entries],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

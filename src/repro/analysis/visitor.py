@@ -1,0 +1,135 @@
+"""AST walk core: one pass per file, dispatching nodes to rules.
+
+The analyzer walks the tree exactly once regardless of how many rules
+are active, maintaining the structural state every rule needs — parent
+stack, enclosing class/function names, loop nesting — so individual
+rules stay stateless and cheap.  Rules receive a bound ``report``
+callback that captures location, scope and snippet automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+class WalkState:
+    """Structural context at the current node of the walk."""
+
+    __slots__ = ("parents", "scope_stack", "loop_depth")
+
+    def __init__(self) -> None:
+        #: Ancestor nodes, outermost first (excludes the current node).
+        self.parents: list[ast.AST] = []
+        #: Names of enclosing classes/functions, outermost first.
+        self.scope_stack: list[str] = []
+        #: Number of enclosing ``for``/``while`` loops.
+        self.loop_depth = 0
+
+    def scope_name(self) -> str:
+        return ".".join(self.scope_stack) if self.scope_stack else "<module>"
+
+    def enclosing_function(self) -> ast.AST | None:
+        """Innermost enclosing FunctionDef/AsyncFunctionDef, if any."""
+        for node in reversed(self.parents):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def enclosing_class(self) -> ast.ClassDef | None:
+        for node in reversed(self.parents):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+
+class Analyzer:
+    """Runs a set of rules over parsed files."""
+
+    __slots__ = ("rules",)
+
+    def __init__(self, rules: tuple[Rule, ...]):
+        self.rules = rules
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        """All findings the active rules produce for *ctx*, in source order."""
+        active = [rule for rule in self.rules if rule.applies(ctx)]
+        if not active:
+            return []
+        findings: list[Finding] = []
+        state = WalkState()
+
+        def make_reporter(rule: Rule):
+            def report(
+                node: ast.AST,
+                message: str,
+                fix_hint: str | None = None,
+                severity: Severity = Severity.ERROR,
+            ) -> None:
+                line = getattr(node, "lineno", 1)
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        path=ctx.display_path,
+                        line=line,
+                        col=getattr(node, "col_offset", 0),
+                        message=message,
+                        scope=state.scope_name(),
+                        snippet=ctx.snippet(line),
+                        fix_hint=rule.fix_hint if fix_hint is None else fix_hint,
+                        severity=severity,
+                    )
+                )
+
+            return report
+
+        reporters = [(rule, make_reporter(rule)) for rule in active]
+        # per-node dispatch lists, computed once per file
+        dispatch: dict[type, list[tuple[Rule, object]]] = {}
+        for rule, report in reporters:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append((rule, report))
+
+        for rule, _report in reporters:
+            rule.begin_file(ctx)
+        self._walk(ctx.tree, ctx, state, dispatch)
+        for rule, report in reporters:
+            rule.end_file(ctx, state, report)
+
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: FileContext,
+        state: WalkState,
+        dispatch: dict[type, list],
+    ) -> None:
+        subscribed = dispatch.get(type(node))
+        if subscribed:
+            for rule, report in subscribed:
+                rule.visit(node, ctx, state, report)
+
+        is_scope = isinstance(node, _SCOPE_NODES)
+        is_loop = isinstance(node, _LOOP_NODES)
+        state.parents.append(node)
+        if is_scope:
+            state.scope_stack.append(node.name)
+        if is_loop:
+            state.loop_depth += 1
+        try:
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, state, dispatch)
+        finally:
+            if is_loop:
+                state.loop_depth -= 1
+            if is_scope:
+                state.scope_stack.pop()
+            state.parents.pop()

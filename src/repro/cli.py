@@ -41,6 +41,14 @@ records as CSV or JSON::
     repro-omp sweep --grid num_threads=4,8 --grid runtime=gnu,llvm \
         --runs 5 --reps 20 --out sweep.csv
 
+Check the tree against the determinism & hot-path contracts (see
+docs/static-analysis.md); intentional exceptions live in the committed
+``lint-baseline.json``::
+
+    repro-omp lint src
+    repro-omp lint src --rule DET001 --format json
+    repro-omp lint --list-rules
+
 Show a platform description::
 
     repro-omp platform dardel
@@ -233,6 +241,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_engine.json", metavar="PATH",
         help="where to write the JSON report (default: BENCH_engine.json)",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static determinism & hot-path contract checks "
+             "(see docs/static-analysis.md)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--rule", action="append", default=[], metavar="ID",
+        help="run only this rule (repeatable), e.g. --rule DET001",
+    )
+    p_lint.add_argument(
+        "--format", dest="fmt", choices=["text", "json"], default="text",
+        help="output format (json is what the CI lint job consumes)",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline of intentional exceptions (default: "
+             "lint-baseline.json in the current directory, if present)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline: report every finding",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
     return parser
 
 
@@ -378,6 +417,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # imported lazily: the analysis package is pure stdlib and only
+    # needed by this subcommand
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        format_json,
+        format_text,
+        get_rules,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"    why:  {rule.rationale}")
+            print(f"    fix:  {rule.fix_hint}")
+            scope = ", ".join(rule.packages) if rule.packages else "all files"
+            print(f"    scope: {scope}")
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline = Baseline.load(args.baseline)
+        elif Path(DEFAULT_BASELINE_NAME).is_file():
+            baseline = Baseline.load(DEFAULT_BASELINE_NAME)
+
+    report = lint_paths(
+        args.paths,
+        rule_ids=args.rule or None,
+        baseline=baseline,
+    )
+    print(format_json(report) if args.fmt == "json" else format_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.bench import run_benchmarks, write_report
 
@@ -414,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -59,3 +59,8 @@ class BenchmarkError(ReproError):
 
 class HarnessError(ReproError):
     """The experiment harness failed (unknown experiment, bad result file)."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis framework was misused (unknown rule, bad
+    baseline file) — distinct from the findings it reports."""

@@ -64,6 +64,36 @@ def _pid_alive(pid: int) -> bool:
 CACHE_SCHEMA_VERSION = 1
 
 
+def _unserializable_paths(value, prefix: str = "") -> list[str]:
+    """Dotted paths of every non-JSON-serializable leaf inside *value*.
+
+    Walks the structure json.dumps would walk, so the paths returned are
+    exactly the fields whose values break strict encoding — e.g.
+    ``benchmark_params.grainsize``.
+    """
+    if isinstance(value, dict):
+        bad: list[str] = []
+        for k, v in sorted(value.items(), key=lambda kv: str(kv[0])):
+            child = f"{prefix}.{k}" if prefix else str(k)
+            if not isinstance(k, str):
+                bad.append(child)
+            bad.extend(_unserializable_paths(v, child))
+        return bad
+    if isinstance(value, (list, tuple)):
+        bad = []
+        for i, v in enumerate(value):
+            bad.extend(_unserializable_paths(v, f"{prefix}[{i}]"))
+        return bad
+    if value is None or isinstance(value, (str, int, bool)):
+        return []
+    if isinstance(value, float):
+        # json.dumps(float('nan')) succeeds by default but produces
+        # non-standard JSON; strict encoding treats it as serializable
+        # because sort_keys/dumps accepts it — so no path reported here.
+        return []
+    return [prefix or "<root>"]
+
+
 def cache_key(config: "ExperimentConfig") -> str:
     """Stable hex digest identifying *config* under the current code version.
 
@@ -82,9 +112,15 @@ def cache_key(config: "ExperimentConfig") -> str:
         # different key in every process and an unbounded cache
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     except (TypeError, ValueError) as exc:
+        bad = _unserializable_paths(payload["config"])
+        where = (
+            f"offending field path(s): {', '.join(bad)}"
+            if bad
+            else f"({exc})"
+        )
         raise HarnessError(
             f"config {config.display_label!r} is not cacheable: "
-            f"to_dict() contains a non-JSON-serializable value ({exc})"
+            f"to_dict() contains a non-JSON-serializable value; {where}"
         ) from exc
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

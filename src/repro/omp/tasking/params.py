@@ -26,7 +26,7 @@ from repro.omp.team import Team
 from repro.units import ns, us
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskCostParams:
     """Platform constants for tasking-runtime operations (seconds).
 
@@ -109,6 +109,8 @@ class TaskCostModel:
     :meth:`SyncCostModel.effective_line_latency`); when omitted, default
     :class:`SyncCostParams` latencies are used.
     """
+
+    __slots__ = ("params", "sync")
 
     def __init__(self, params: TaskCostParams, sync: "SyncCostModel | None" = None):
         from repro.omp.constructs import SyncCostModel, SyncCostParams

@@ -54,7 +54,7 @@ from repro.sim.engine import Engine
 from repro.sim.process import Timeout
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRunStats:
     """Outcome of one task-graph execution."""
 
@@ -123,6 +123,17 @@ class WorkStealingScheduler:
         Engine runaway cap; ``None`` sizes it from the graph
         (see :meth:`run`).
     """
+
+    __slots__ = (
+        "team",
+        "cost_model",
+        "freq_plan",
+        "noise",
+        "streams",
+        "max_events",
+        "_stolen_sets",
+        "_smt_shared",
+    )
 
     def __init__(
         self,

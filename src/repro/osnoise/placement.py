@@ -42,11 +42,14 @@ class IdleFirstPlacement(PlacementPolicy):
     """Idle cores → idle siblings → random busy CPU (preemption)."""
 
     def place(self, events, machine, busy_cpus, rng):
-        busy = set(int(c) for c in busy_cpus)
-        for cpu in busy:
+        busy = {int(c) for c in busy_cpus}
+        # iterate the sorted view, not the set: set order is
+        # insertion-dependent, and DET002 keeps loops order-stable even
+        # where (as here) only an error message could observe the order
+        for cpu in sorted(busy):
             if cpu >= machine.n_cpus:
                 raise NoiseModelError(f"busy cpu {cpu} not on {machine.name}")
-        busy_cores = {machine.hwthread(c).core_id for c in busy}
+        busy_cores = {machine.hwthread(c).core_id for c in sorted(busy)}
 
         idle_free_cores = [
             c for c in range(machine.n_cpus)

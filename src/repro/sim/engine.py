@@ -92,6 +92,16 @@ class Engine:
     2.0
     """
 
+    __slots__ = (
+        "clock",
+        "max_events",
+        "_queue",
+        "_seq",
+        "_events_executed",
+        "_cancelled",
+        "_handles",
+    )
+
     def __init__(self, clock: Optional[Clock] = None, max_events: Optional[int] = None):
         if max_events is not None and max_events <= 0:
             raise SimulationError(f"max_events must be positive, got {max_events}")

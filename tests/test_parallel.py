@@ -106,8 +106,11 @@ class TestCacheKey:
             pass
 
         cfg = _cfg(benchmark_params={"outer_reps": 3, "payload": Opaque()})
-        with pytest.raises(HarnessError, match="not cacheable"):
+        with pytest.raises(HarnessError, match="not cacheable") as excinfo:
             cache_key(cfg)
+        # the error must name the dotted path of the offending field, not
+        # just say "something in to_dict() failed"
+        assert "benchmark_params.payload" in str(excinfo.value)
 
 
 class TestResultCache:
