@@ -108,4 +108,9 @@ def get_rules(ids: Iterable[str] | None = None) -> tuple[Rule, ...]:
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules (idempotent: registration happens
     at first import)."""
-    from repro.analysis import rules_api, rules_det, rules_perf  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_api,
+        rules_det,
+        rules_obs,
+        rules_perf,
+    )

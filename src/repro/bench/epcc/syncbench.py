@@ -121,6 +121,8 @@ class Syncbench:
         iter_est = self._iter_time_estimate(ctx, construct)
         innerreps = target_innerreps(p.test_time, iter_est)
         rng = ctx.stream("syncbench", construct.value)
+        tracer = ctx.tracer
+        tracing = tracer.enabled  # hoisted once; the null path pays one bool test
 
         rep_times = np.empty(p.outer_reps)
         for rep in range(p.outer_reps):
@@ -150,6 +152,16 @@ class Syncbench:
                 stacking_episodes=ctx.fork.episodes,
                 smt_efficiency=p.smt_efficiency,
             )
+            if tracing:
+                # one span per timed test (innerreps construct instances are
+                # far too many to draw individually)
+                args = {"rep": rep, "innerreps": innerreps}
+                if profile.has_barrier:
+                    args.update(ctx.sync_cost.barrier_trace_args(team))
+                tracer.span(
+                    0, construct.value, ctx.t, ctx.t + result.duration,
+                    cat="omp", args=args,
+                )
             rep_times[rep] = result.duration
             ctx.advance(result.duration + p.rep_gap)
 

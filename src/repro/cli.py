@@ -97,10 +97,71 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """--trace / --telemetry / --telemetry-out, shared by run and sweep."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export a Chrome trace-event JSON of the simulated timeline "
+             "(load in https://ui.perfetto.dev; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="print the harness telemetry section (cache, pool, timings)",
+    )
+    parser.add_argument(
+        "--telemetry-out", dest="telemetry_out", default=None, metavar="PATH",
+        help="export the harness metrics registry as JSON",
+    )
+
+
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
     if args.cache_dir is None or args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _finish_obs(args: argparse.Namespace, configs, metrics) -> None:
+    """Shared run/sweep epilogue: execution summary, trace, telemetry.
+
+    The one-line execution summary (worker count + cache traffic) always
+    prints; the trace annotation pass and telemetry exports only on
+    request.  *configs* is the full expanded config list in display order
+    — the trace's Perfetto process groups follow it.
+    """
+    import json
+
+    from repro.harness.parallel import resolve_jobs
+    from repro.harness.report import render_telemetry
+
+    cache_summary = "disabled"
+    if args.cache_dir is not None and not args.no_cache:
+        hits = metrics.counter("cache_hits").value
+        misses = metrics.counter("cache_misses").value
+        stores = metrics.counter("cache_stores").value
+        cache_summary = (
+            f"{hits:g} hit(s), {misses:g} miss(es), {stores:g} store(s)"
+        )
+    print(
+        f"\nexecution: {resolve_jobs(args.jobs)} worker(s); "
+        f"cache: {cache_summary}"
+    )
+    if args.trace:
+        # lazy: the annotation pass re-simulates serially in-process
+        from repro.obs.annotate import write_trace
+
+        n_events = write_trace(configs, args.trace)
+        print(
+            f"wrote {n_events} trace events to {args.trace} "
+            f"(open in https://ui.perfetto.dev)"
+        )
+    if args.telemetry:
+        print()
+        print(render_telemetry(metrics))
+    if args.telemetry_out:
+        Path(args.telemetry_out).write_text(
+            json.dumps(metrics.to_dict(), indent=1) + "\n"
+        )
+        print(f"wrote telemetry JSON to {args.telemetry_out}")
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -195,6 +256,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_config_flags(p_run)
     p_run.add_argument("--out", default=None, help="save result JSON here")
     _add_execution_flags(p_run)
+    _add_obs_flags(p_run)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -227,6 +289,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "else CSV)",
     )
     _add_execution_flags(p_sweep)
+    _add_obs_flags(p_sweep)
 
     p_bench = sub.add_parser(
         "bench",
@@ -239,7 +302,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", default="BENCH_engine.json", metavar="PATH",
-        help="where to write the JSON report (default: BENCH_engine.json)",
+        help="where to write the JSON report (default: BENCH_engine.json); "
+             "the prior report's numbers are preserved in its append-only "
+             "trajectory list instead of being clobbered",
+    )
+    p_bench.add_argument(
+        "--stamp", default=None, metavar="LABEL",
+        help="label (date, commit id, ...) recorded with this report's "
+             "trajectory entry",
     )
 
     p_lint = sub.add_parser(
@@ -343,8 +413,13 @@ def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
     config = _config_from_args(args)
-    result = ParallelRunner(config, jobs=args.jobs, cache=_make_cache(args)).run()
+    metrics = MetricsRegistry()
+    result = ParallelRunner(
+        config, jobs=args.jobs, cache=_make_cache(args), metrics=metrics
+    ).run()
     time_labels, metric_labels = split_tasking_labels(result.labels())
     for label in time_labels:
         print(result.report(label).render())
@@ -362,10 +437,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         result.save(args.out)
         print(f"saved raw result to {args.out}")
+    _finish_obs(args, [config], metrics)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
     study = Study(
         _config_from_args(args, include_reps=False),
         name="sweep",
@@ -387,7 +465,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 **cfg.benchmark_params,
             }
         )
-    result = study.run(jobs=args.jobs, cache=_make_cache(args))
+    metrics = MetricsRegistry()
+    result = study.run(jobs=args.jobs, cache=_make_cache(args), metrics=metrics)
 
     axes = ", ".join(result.axes) if result.axes else "(none)"
     print(f"sweep: {len(result)} configuration(s); swept axes: {axes}")
@@ -414,6 +493,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             n_records = result.to_csv(out)
         print(f"\nexported {n_records} tidy records to {out}")
+    _finish_obs(args, list(result.configs), metrics)
     return 0
 
 
@@ -458,7 +538,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.bench import run_benchmarks, write_report
 
     report = run_benchmarks(quick=args.quick)
-    report = write_report(report, args.out)
+    report = write_report(report, args.out, stamp=args.stamp)
     eng = report["engine"]
     smoke = report["figure8_smoke"]
     print("engine throughput (events/sec):")
@@ -471,7 +551,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     for key, factor in report.get("speedup_vs_baseline", {}).items():
         print(f"  {factor:5.2f}x vs recorded baseline: {key}")
-    print(f"report written to {args.out}")
+    n_prior = len(report.get("trajectory", []))
+    print(
+        f"report written to {args.out} "
+        f"({n_prior} prior measurement(s) kept in its trajectory)"
+    )
     return 0
 
 

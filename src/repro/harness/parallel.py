@@ -34,7 +34,9 @@ at most once per worker rather than once per run.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from typing import Sequence
 
 from repro.errors import ConfigurationError
@@ -42,6 +44,7 @@ from repro.harness.cache import ResultCache, cache_key
 from repro.harness.config import ExperimentConfig
 from repro.harness.results import ExperimentResult, RunRecord
 from repro.harness.runner import Runner
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ParallelRunner", "Sweep", "resolve_jobs"]
 
@@ -59,12 +62,28 @@ def resolve_jobs(jobs: int | None) -> int:
 _WORKER_RUNNERS: dict[str, Runner] = {}
 
 
-def _execute_run(key: str, config: ExperimentConfig, run_index: int) -> RunRecord:
-    """Worker entry point: simulate one run of *config* by index."""
+def _execute_run(
+    key: str, config: ExperimentConfig, run_index: int
+) -> tuple[RunRecord, float]:
+    """Worker entry point: simulate one run of *config* by index.
+
+    Returns the record stamped with execution provenance (worker id + wall
+    duration; both ``compare=False`` and never serialized, see
+    :class:`~repro.harness.results.RunRecord`) alongside the wall time at
+    which the worker actually started — the parent subtracts its submit time
+    to measure queue wait.
+    """
+    t_started = time.time()
     runner = _WORKER_RUNNERS.get(key)
     if runner is None:
         runner = _WORKER_RUNNERS[key] = Runner(config)
-    return runner.run_one(run_index)
+    record = runner.run_one(run_index)
+    stamped = replace(
+        record,
+        worker_id=f"pid{os.getpid()}",
+        wall_seconds=time.time() - t_started,
+    )
+    return stamped, t_started
 
 
 class Sweep:
@@ -78,21 +97,43 @@ class Sweep:
     cache:
         Optional :class:`ResultCache`.  Each config is looked up before
         scheduling; finished results (cached or fresh) are written back.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` (plane 2 of
+        :mod:`repro.obs`).  When given, each :meth:`run` records config
+        counts (total/cached/simulated), cache hit/miss/store deltas,
+        per-run and per-config wall times, pool worker count and
+        utilization, and queue-wait times.  Telemetry only — results are
+        byte-identical with or without it.
     """
 
-    def __init__(self, jobs: int | None = 1, cache: ResultCache | None = None):
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.metrics = metrics
+        #: Wall seconds each config of the most recent :meth:`run` took
+        #: (aligned with its ``configs`` argument; cache hits cost ~0).
+        #: The Study layer aggregates these per axis value.
+        self.last_config_walls: list[float] = []
 
     def run(self, configs: Sequence[ExperimentConfig]) -> list[ExperimentResult]:
         """Execute every config; results come back in input order."""
         configs = list(configs)
         results: list[ExperimentResult | None] = [None] * len(configs)
+        walls = [0.0] * len(configs)
+        cache = self.cache
+        cache_before = (
+            (cache.hits, cache.misses, cache.stores) if cache is not None else None
+        )
 
         pending: list[tuple[int, ExperimentConfig, str]] = []
         for i, cfg in enumerate(configs):
-            if self.cache is not None:
-                hit = self.cache.get(cfg)
+            if cache is not None:
+                hit = cache.get(cfg)
                 if hit is not None:
                     results[i] = hit
                     continue
@@ -101,19 +142,39 @@ class Sweep:
         if pending:
             if self.jobs == 1:
                 for i, cfg, _key in pending:
-                    results[i] = Runner(cfg).run()
+                    t_cfg = time.time()
+                    runner = Runner(cfg)
+                    records = []
+                    for run in range(cfg.runs):
+                        t_run = time.time()
+                        record = runner.run_one(run)
+                        records.append(replace(
+                            record,
+                            worker_id="main",
+                            wall_seconds=time.time() - t_run,
+                        ))
+                    results[i] = ExperimentResult(
+                        config=cfg, records=tuple(records)
+                    )
+                    walls[i] = time.time() - t_cfg
             else:
-                self._run_pool(pending, results)
-            if self.cache is not None:
+                self._run_pool(pending, results, walls)
+            if cache is not None:
                 for i, _cfg, _key in pending:
-                    self.cache.put(results[i])
+                    cache.put(results[i])
 
+        self.last_config_walls = walls
+        if self.metrics is not None:
+            self._record_metrics(
+                self.metrics, len(configs), pending, results, walls, cache_before
+            )
         return results  # type: ignore[return-value]
 
     def _run_pool(
         self,
         pending: list[tuple[int, ExperimentConfig, str]],
         results: list[ExperimentResult | None],
+        walls: list[float],
     ) -> None:
         # interleave round-robin by run index so every config makes progress
         # from the start instead of queueing whole configs FIFO
@@ -125,16 +186,64 @@ class Sweep:
             ),
         )
         max_workers = min(self.jobs, len(tasks))
+        m = self.metrics
+        t_pool = time.time()
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                (i, run): pool.submit(_execute_run, key, cfg, run)
-                for run, i, cfg, key in tasks
-            }
+            submits: dict[tuple[int, int], float] = {}
+            futures = {}
+            for run, i, cfg, key in tasks:
+                submits[(i, run)] = time.time()
+                futures[(i, run)] = pool.submit(_execute_run, key, cfg, run)
             for i, cfg, _key in pending:
-                records = tuple(
-                    futures[(i, run)].result() for run in range(cfg.runs)
-                )
-                results[i] = ExperimentResult(config=cfg, records=records)
+                records = []
+                for run in range(cfg.runs):
+                    record, t_started = futures[(i, run)].result()
+                    records.append(record)
+                    if m is not None:
+                        m.histogram("queue_wait_seconds").observe(
+                            max(0.0, t_started - submits[(i, run)])
+                        )
+                results[i] = ExperimentResult(config=cfg, records=tuple(records))
+                # pooled configs report the CPU time their runs consumed
+                # (run walls overlap across workers, so elapsed is not it)
+                walls[i] = sum(r.wall_seconds or 0.0 for r in records)
+        if m is not None:
+            elapsed = time.time() - t_pool
+            busy = sum(walls[i] for i, _cfg, _key in pending)
+            m.gauge("pool_elapsed_seconds").set(elapsed)
+            m.gauge("pool_utilization").set(
+                min(1.0, busy / (elapsed * max_workers)) if elapsed > 0 else 0.0
+            )
+            used = {
+                rec.worker_id
+                for i, _cfg, _key in pending
+                for rec in results[i].records
+            }
+            m.gauge("pool_workers_used").set(len(used))
+
+    def _record_metrics(
+        self,
+        m: MetricsRegistry,
+        n_configs: int,
+        pending: list[tuple[int, ExperimentConfig, str]],
+        results: list[ExperimentResult | None],
+        walls: list[float],
+        cache_before: tuple[int, int, int] | None,
+    ) -> None:
+        m.gauge("pool_workers").set(self.jobs)
+        m.counter("configs_total").inc(n_configs)
+        m.counter("configs_simulated").inc(len(pending))
+        m.counter("configs_cached").inc(n_configs - len(pending))
+        for i, _cfg, _key in pending:
+            m.histogram("config_wall_seconds").observe(walls[i])
+            for rec in results[i].records:
+                if rec.wall_seconds is not None:
+                    m.histogram("run_wall_seconds").observe(rec.wall_seconds)
+        if cache_before is not None and self.cache is not None:
+            h0, mi0, s0 = cache_before
+            m.counter("cache_hits").inc(self.cache.hits - h0)
+            m.counter("cache_misses").inc(self.cache.misses - mi0)
+            m.counter("cache_stores").inc(self.cache.stores - s0)
 
 
 class ParallelRunner:
@@ -150,9 +259,10 @@ class ParallelRunner:
         config: ExperimentConfig,
         jobs: int | None = 1,
         cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.config = config
-        self._sweep = Sweep(jobs=jobs, cache=cache)
+        self._sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics)
 
     @property
     def jobs(self) -> int:

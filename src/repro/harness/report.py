@@ -16,6 +16,7 @@ from repro.units import to_us
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.study import StudyResult
+    from repro.obs.metrics import MetricsRegistry
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -293,3 +294,61 @@ def render_tasking_summary(
         rows,
         title=f"{label}: work-stealing scheduler metrics",
     )
+
+
+# ---------------------------------------------------------------------------
+# Harness telemetry
+# ---------------------------------------------------------------------------
+
+
+def _format_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_telemetry(metrics: "MetricsRegistry") -> str:
+    """The harness-telemetry section: one table per instrument kind.
+
+    Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot —
+    counters, gauges, then histograms (count/mean/min/max) — with labels
+    folded into the instrument name (``axis_wall_seconds{axis=runtime}``).
+    An empty registry renders a single placeholder line.
+    """
+    data = metrics.to_dict()
+    sections: list[str] = []
+    scalar_rows = [
+        [f"{e['name']}{_format_labels(e['labels'])}", kind, f"{e['value']:g}"]
+        for kind, entries in (("counter", data["counters"]),
+                              ("gauge", data["gauges"]))
+        for e in entries
+    ]
+    if scalar_rows:
+        sections.append(
+            render_table(["metric", "kind", "value"], scalar_rows,
+                         title="harness telemetry")
+        )
+    hist_rows = []
+    for e in data["histograms"]:
+        if not e["count"]:
+            continue
+        mean = e["total"] / e["count"]
+        hist_rows.append(
+            [
+                f"{e['name']}{_format_labels(e['labels'])}",
+                e["count"],
+                f"{mean:.4g}",
+                f"{e['min']:.4g}",
+                f"{e['max']:.4g}",
+            ]
+        )
+    if hist_rows:
+        title = None if sections else "harness telemetry"
+        sections.append(
+            render_table(["histogram", "count", "mean", "min", "max"],
+                         hist_rows, title=title)
+        )
+    if not sections:
+        return "harness telemetry: (no metrics recorded)"
+    return "\n\n".join(sections)

@@ -27,6 +27,15 @@ class RunRecord:
     run_index: int
     series: Mapping[str, np.ndarray] = field(default_factory=dict)
     freq_log: FrequencyLog | None = None
+    #: Execution provenance stamped by the harness (``"main"`` for in-process
+    #: serial execution, ``"pid<N>"`` for pool workers, ``None`` before the
+    #: harness stamps it).  Excluded from equality and from :meth:`to_dict`:
+    #: *which* worker simulated a run is telemetry, not part of the result —
+    #: cache entries and golden artifacts stay byte-identical across jobs=N.
+    worker_id: str | None = field(default=None, compare=False)
+    #: Wall-clock seconds the simulation of this run took (telemetry only;
+    #: same exclusions as ``worker_id``).
+    wall_seconds: float | None = field(default=None, compare=False)
 
     def labels(self) -> tuple[str, ...]:
         return tuple(self.series.keys())

@@ -14,6 +14,7 @@ from repro.errors import ConfigurationError, HarnessError
 from repro.harness.config import ExperimentConfig
 from repro.harness.freqlogger import FrequencyLogger
 from repro.harness.results import ExperimentResult, RunRecord
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.omp.runtime import OpenMPRuntime, RunContext
 from repro.platform import get_platform
 from repro.rng import RngFactory
@@ -28,8 +29,9 @@ class Runner:
     realization, followed by the benchmark's own outer repetitions.
     """
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig, tracer: Tracer = NULL_TRACER):
         self.config = config
+        self.tracer = tracer
         self.platform = get_platform(config.platform)
         if config.noise == "quiet":
             self.platform = self.platform.quiet()
@@ -148,8 +150,12 @@ class Runner:
             logger = FrequencyLogger(self._logger_cpu())
             extra_busy = (logger.logger_cpu,)
         horizon = self._horizon(cfg.num_threads)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_run(run_index)
         ctx: RunContext = self.runtime.start_run(
-            run_index, self.rng_factory, horizon, extra_busy_cpus=extra_busy
+            run_index, self.rng_factory, horizon, extra_busy_cpus=extra_busy,
+            tracer=tracer,
         )
 
         kind, bench, payload = self._bench
@@ -175,6 +181,11 @@ class Runner:
             for kernel, times in sm.times.items():
                 series[kernel.value] = times
 
+        if tracer.enabled:
+            # paint the realized OS noise under the run we just executed
+            ctx.noise.trace_onto(
+                tracer, sorted(set(ctx.team.cpus)), 0.0, max(ctx.t, 1e-9)
+            )
         freq_log = None
         if logger is not None:
             freq_log = logger.capture(

@@ -54,6 +54,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.parallel import Sweep
 from repro.harness.results import ExperimentResult
+from repro.obs.metrics import MetricsRegistry
 from repro.stats.descriptive import SummaryStats, summarize
 
 __all__ = ["Study", "StudyResult", "coerce_token", "config_value", "load_records"]
@@ -261,18 +262,37 @@ class Study:
     # -- execution ------------------------------------------------------------
 
     def run(
-        self, jobs: int | None = 1, cache: ResultCache | None = None
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "StudyResult":
         """Execute every selected config through one shared
         :class:`~repro.harness.parallel.Sweep`; bit-identical for any
-        ``jobs`` and replayable from *cache*."""
+        ``jobs`` and replayable from *cache*.
+
+        With *metrics*, the sweep's harness telemetry is recorded (see
+        :class:`~repro.harness.parallel.Sweep`) and additionally broken
+        down per swept axis: every config's wall time is observed into an
+        ``axis_wall_seconds{axis=..., value=...}`` histogram per axis it
+        belongs to, so slow axis values stand out in the telemetry report.
+        """
         configs = self.configs()
         if not configs:
             raise HarnessError(
                 f"study {self.name!r} selects no configurations "
                 f"(empty axes or an unsatisfiable where() filter)"
             )
-        results = Sweep(jobs=jobs, cache=cache).run(configs)
+        sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics)
+        results = sweep.run(configs)
+        if metrics is not None:
+            for name in self.axis_names():
+                for cfg, wall in zip(configs, sweep.last_config_walls):
+                    metrics.histogram(
+                        "axis_wall_seconds",
+                        axis=name,
+                        value=config_value(cfg, name),
+                    ).observe(wall)
         return StudyResult(study=self, configs=configs, results=tuple(results))
 
 

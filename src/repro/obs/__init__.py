@@ -1,0 +1,38 @@
+"""Observability: simulated-time tracing + harness metrics.
+
+Two planes (see ``docs/observability.md``):
+
+* :mod:`repro.obs.tracer` — span traces in **simulated** time, exported
+  as Perfetto-loadable Chrome trace-event JSON;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms describing the
+  harness's own execution in **wall** time.
+
+:mod:`repro.obs.annotate` (imported lazily by the CLI, not here: it pulls
+in the whole harness stack) re-runs configurations serially with a
+:class:`~repro.obs.tracer.SpanTracer` attached to produce the trace —
+the simulation is a pure function of (config, seed), so the annotation
+pass describes pool or cached results exactly.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    CPU_TRACK_BASE,
+    NULL_TRACER,
+    NullTracer,
+    SpanTracer,
+    Tracer,
+    validate_chrome,
+)
+
+__all__ = [
+    "CPU_TRACK_BASE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanTracer",
+    "Tracer",
+    "validate_chrome",
+]

@@ -1,0 +1,45 @@
+"""Trace annotation pass: deterministic traces for any execution mode.
+
+``repro-omp run/sweep --trace out.json`` must produce the identical trace
+whether the results came from a serial run, a process pool, or a cache
+replay.  Shipping tracers across pool workers (or reconstructing spans
+from cached JSON) would make the trace depend on the execution mode; a
+re-simulation does not, because every run is a pure function of
+``(config, seed)`` — the property the whole parallel harness is built on
+(see :mod:`repro.harness.parallel`).
+
+So the trace is produced by a separate *annotation pass*: after the real
+execution finishes (however it ran), each config is re-simulated serially
+in the parent process with a :class:`~repro.obs.tracer.SpanTracer`
+attached.  The pass costs one extra serial simulation per traced config —
+trace what you want to look at, not a thousand-config sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.config import ExperimentConfig
+from repro.obs.tracer import SpanTracer
+
+__all__ = ["build_trace", "write_trace"]
+
+
+def build_trace(configs: Sequence[ExperimentConfig]) -> SpanTracer:
+    """Simulate every config serially with tracing on; returns the tracer.
+
+    One Perfetto process group per config (``pid`` = position in
+    *configs*, named by the config's display label).
+    """
+    from repro.harness.runner import Runner  # lazy: heavy import chain
+
+    tracer = SpanTracer()
+    for pid, cfg in enumerate(configs):
+        tracer.begin_process(pid, cfg.display_label)
+        Runner(cfg, tracer=tracer).run()
+    return tracer
+
+
+def write_trace(configs: Sequence[ExperimentConfig], path) -> int:
+    """Annotation pass + export; returns the number of trace events."""
+    return build_trace(configs).write(path)

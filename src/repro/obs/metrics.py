@@ -1,0 +1,168 @@
+"""Harness metrics: labeled counters, gauges and histograms.
+
+Plane 2 of :mod:`repro.obs` — *how the harness itself behaved*, in wall
+time: cache hits, pool worker utilization, per-config wall seconds,
+per-axis timing.  These numbers describe the execution machinery, never
+the simulation, so they are allowed to read wall clocks; they must never
+leak into result artifacts (``RunRecord`` serialization excludes them —
+see :mod:`repro.harness.results`).
+
+The registry is deliberately tiny: get-or-create accessors keyed by
+``(name, sorted labels)``, plain slotted instrument objects, and a JSON
+round-trip.  :func:`repro.harness.report.render_telemetry` renders a
+registry for the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ReproError(f"counter increments must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max).
+
+    Full distributions stay in the result artifacts; telemetry only needs
+    enough to spot stragglers, so the histogram keeps O(1) state.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for the harness's instruments.
+
+    ``registry.counter("cache.hits").inc()`` and
+    ``registry.histogram("run_wall_seconds", worker="pid123").observe(w)``
+    are the whole API; repeated calls with the same name + labels return
+    the same instrument.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram()
+        return inst
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot, entries sorted by (name, labels)."""
+
+        def labels_dict(key: tuple) -> dict:
+            return {k: v for k, v in key}
+
+        counters = [
+            {"name": name, "labels": labels_dict(lk), "value": c.value}
+            for (name, lk), c in sorted(self._counters.items())
+        ]
+        gauges = [
+            {"name": name, "labels": labels_dict(lk), "value": g.value}
+            for (name, lk), g in sorted(self._gauges.items())
+        ]
+        histograms = [
+            {
+                "name": name, "labels": labels_dict(lk), "count": h.count,
+                "total": h.total,
+                "min": h.minimum if h.count else None,
+                "max": h.maximum if h.count else None,
+            }
+            for (name, lk), h in sorted(self._histograms.items())
+        ]
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsRegistry":
+        reg = cls()
+        for entry in data.get("counters", ()):
+            reg.counter(entry["name"], **entry.get("labels", {})).inc(entry["value"])
+        for entry in data.get("gauges", ()):
+            reg.gauge(entry["name"], **entry.get("labels", {})).set(entry["value"])
+        for entry in data.get("histograms", ()):
+            h = reg.histogram(entry["name"], **entry.get("labels", {}))
+            count = entry.get("count", 0)
+            if count:
+                # reconstruct the O(1) summary state (not the raw stream)
+                h.count = count
+                h.total = entry.get("total", 0.0)
+                h.minimum = entry.get("min", math.inf)
+                h.maximum = entry.get("max", -math.inf)
+        return reg

@@ -45,6 +45,7 @@ from math import ceil, log2
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.tracer import Tracer
 from repro.omp.team import Team
 from repro.omp.vendor import RuntimeProfile, default_profile
 from repro.sched.model import wakeup_path_cost
@@ -281,6 +282,60 @@ class SyncCostModel:
             combine = n * p.atomic_rmw + self.effective_line_latency(team) * ceil(log2(max(2, n)))
             return self.fork_cost(team) + self.join_cost(team) + combine + self.barrier_cost(team)
         raise ConfigurationError(f"unknown construct {construct!r}")
+
+    # -- observability ------------------------------------------------------------
+
+    def barrier_trace_args(self, team: Team) -> dict:
+        """Explanatory args for barrier/join spans: how the cost decomposes.
+
+        Names the vendor's barrier algorithm, its serialized line-transfer
+        round count for this team, the team's effective line latency and
+        the sleeping-waiter share — the model facts a trace reader needs
+        to see *why* this barrier costs what it does.
+        """
+        n = team.n_threads
+        return {
+            "algorithm": self.profile.barrier_algorithm.value,
+            "rounds": self.profile.barrier_span(n),
+            "l_eff_ns": round(self.effective_line_latency(team) * 1e9, 3),
+            "sleep_share": round(self.sleep_share, 4),
+            "n_threads": n,
+        }
+
+    def trace_barrier(
+        self, tracer: Tracer, tid: int, t0: float, team: Team,
+        name: str = "barrier",
+    ) -> None:
+        """Emit one barrier instance as a span with per-round sub-spans.
+
+        The top span covers the full :meth:`barrier_cost` window and
+        carries :meth:`barrier_trace_args`; inside it, each of the
+        vendor algorithm's line-transfer rounds gets a ``barrier.gather``
+        / ``barrier.release`` sub-span of one effective line latency —
+        the model's own cost decomposition, laid out on the timeline.  A
+        cold annotation helper (one call per traced construct instance),
+        guarded on entry.
+        """
+        if not tracer.enabled:
+            return
+        n = team.n_threads
+        cost = self.barrier_cost(team)
+        tracer.span(
+            tid, name, t0, t0 + cost, cat="omp",
+            args=self.barrier_trace_args(team),
+        )
+        if n <= 1:
+            return
+        rounds = int(self.profile.barrier_span(n))
+        l_eff = self.effective_line_latency(team)
+        t = t0 + self.params.barrier_base
+        for r in range(rounds):
+            phase = "gather" if 2 * r < rounds else "release"
+            tracer.span(
+                tid, f"barrier.{phase}", t, t + l_eff, cat="omp",
+                args={"round": r},
+            )
+            t += l_eff
 
     # -- stochastic per-repetition multiplier -------------------------------------
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import BindingError, ConfigurationError
 from repro.freq.dvfs import FrequencyModel, FrequencyPlan
 from repro.freq.governor import make_governor
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.omp.constructs import SyncCostModel
 from repro.omp.env import OMPEnvironment
 from repro.omp.places import parse_places
@@ -31,7 +32,7 @@ from repro.omp.team import Team
 from repro.omp.vendor import RuntimeProfile
 from repro.osnoise.model import NoiseModel, NoiseRealization
 from repro.rng import RngFactory
-from repro.sched.model import ForkOutcome, SchedulerModel
+from repro.sched.model import ForkOutcome, SchedulerModel, trace_fork
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platform import Platform
@@ -56,6 +57,9 @@ class RunContext:
     sync_cost: SyncCostModel
     rng: RngFactory
     t: float = 0.0
+    #: Observability sink; benchmarks read it to emit spans along the run
+    #: timeline (docs/observability.md).  Defaults to the no-op tracer.
+    tracer: Tracer = NULL_TRACER
 
     def advance(self, dt: float) -> None:
         if dt < 0:
@@ -85,6 +89,12 @@ class RunContext:
         )
         self.fork = outcome
         self.team = self.team.with_cpus(list(outcome.cpus))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                0, "refork", self.t, cat="sched",
+                args={"cpus": [int(c) for c in outcome.cpus]},
+            )
+            trace_fork(self.tracer, outcome, self.t)
 
 
 class OpenMPRuntime:
@@ -144,12 +154,42 @@ class OpenMPRuntime:
 
     # -- run contexts ---------------------------------------------------------------
 
+    def _trace_run_setup(
+        self,
+        tracer: Tracer,
+        team: Team,
+        fork: ForkOutcome,
+        freq_plan: FrequencyPlan,
+    ) -> None:
+        """Emit the run's setup picture: thread tracks, fork placement,
+        scheduler wakeups, and the frequency plan's dips.  Cold path —
+        called once per traced run, guarded on entry."""
+        if not tracer.enabled:
+            return
+        for i, cpu in enumerate(team.cpus):
+            tracer.thread_name(i, f"thread {i} (cpu {int(cpu)})")
+        tracer.instant(
+            0, "fork.place", 0.0, cat="sched",
+            args={"cpus": [int(c) for c in team.cpus], "bound": self.env.bound},
+        )
+        trace_fork(tracer, fork, 0.0)
+        for dip in freq_plan.dips:
+            tracer.instant(
+                0, "freq.dip", dip.start, cat="freq",
+                args={
+                    "socket": dip.socket_id,
+                    "depth": round(dip.depth, 4),
+                    "duration_us": round(dip.duration * 1e6, 3),
+                },
+            )
+
     def start_run(
         self,
         run_index: int,
         rng_factory: RngFactory,
         horizon: float,
         extra_busy_cpus: tuple[int, ...] = (),
+        tracer: Tracer = NULL_TRACER,
     ) -> RunContext:
         """Realize one run: placement, frequency plan, noise, executor.
 
@@ -189,6 +229,7 @@ class OpenMPRuntime:
             0.0, horizon, noise_busy, run_rng.stream("noise")
         )
         executor = RegionExecutor(freq_plan, noise, self.platform.region_params)
+        self._trace_run_setup(tracer, team, fork, freq_plan)
         return RunContext(
             runtime=self,
             run_index=run_index,
@@ -200,4 +241,5 @@ class OpenMPRuntime:
             sync_cost=self.sync_cost,
             rng=run_rng,
             t=0.0,
+            tracer=tracer,
         )

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.freq.dvfs import FrequencyPlan
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.omp.tasking.deque import TaskDeque
 from repro.omp.tasking.params import TaskCostModel
 from repro.omp.tasking.task import Task
@@ -122,6 +123,15 @@ class WorkStealingScheduler:
     max_events:
         Engine runaway cap; ``None`` sizes it from the graph
         (see :meth:`run`).
+    tracer:
+        Observability sink (docs/observability.md).  With the default
+        :data:`~repro.obs.tracer.NULL_TRACER` every emission site is a
+        single pre-hoisted boolean test; with a
+        :class:`~repro.obs.tracer.SpanTracer` the scheduler records task
+        bodies, spawns, pops, steals and backoff idling as per-thread
+        spans plus queue-depth / busy-thread counter tracks.  Tracing
+        never touches the RNG streams, so traced and untraced schedules
+        are identical.
     """
 
     __slots__ = (
@@ -131,6 +141,7 @@ class WorkStealingScheduler:
         "noise",
         "streams",
         "max_events",
+        "tracer",
         "_stolen_sets",
         "_smt_shared",
     )
@@ -143,6 +154,7 @@ class WorkStealingScheduler:
         noise: NoiseRealization,
         streams: Sequence[np.random.Generator],
         max_events: int | None = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         if len(streams) != team.n_threads:
             raise ConfigurationError(
@@ -155,6 +167,7 @@ class WorkStealingScheduler:
         self.noise = noise
         self.streams = list(streams)
         self.max_events = max_events
+        self.tracer = tracer
         # per-thread hot-path lookups, resolved once per scheduler
         self._stolen_sets = [noise.stolen_on(cpu) for cpu in team.cpus]
         self._smt_shared = [bool(s) for s in team.smt_shared]
@@ -213,7 +226,7 @@ class WorkStealingScheduler:
             if self.max_events is not None
             else self._default_cap(total_tasks)
         )
-        engine = Engine(clock=Clock(t_start), max_events=cap)
+        engine = Engine(clock=Clock(t_start), max_events=cap, tracer=self.tracer)
 
         deques = [TaskDeque(owner=i) for i in range(n)]
         for task in initial:
@@ -236,6 +249,8 @@ class WorkStealingScheduler:
         jitter_sigma = self.cost_model.params.work_jitter_sigma
         jitter_mean = -0.5 * jitter_sigma**2
         clock = engine.clock
+        tracer = self.tracer
+        tracing = tracer.enabled  # hoisted once: the null path pays one bool test
 
         def execute(i: int, task: Task):
             """Spawn children, then run the body (generator fragment)."""
@@ -248,6 +263,12 @@ class WorkStealingScheduler:
                 state.queued += len(children)
                 spawn_cost = len(children) * create_cost
                 overhead[i] += spawn_cost
+                if tracing:
+                    tracer.span(
+                        i, "task.spawn", clock.now, clock.now + spawn_cost,
+                        cat="task", args={"children": len(children)},
+                    )
+                    tracer.counter("queued_tasks", clock.now, state.queued)
                 yield Timeout(spawn_cost)
             work = task.work
             if jitter_sigma > 0.0 and work > 0.0:
@@ -256,9 +277,16 @@ class WorkStealingScheduler:
                 )
             dur = self._body_duration(i, clock.now, work)
             busy[i] += dur
+            if tracing:
+                tracer.span(i, "task.body", clock.now, clock.now + dur, cat="task")
+                state.running += 1
+                tracer.counter("busy_threads", clock.now, state.running)
             yield Timeout(dur)
             tasks_executed[i] += 1
             state.outstanding -= 1
+            if tracing:
+                state.running -= 1
+                tracer.counter("busy_threads", clock.now, state.running)
             if state.outstanding == 0:
                 state.t_done = clock.now
             elif state.outstanding < 0:  # pragma: no cover - invariant
@@ -274,6 +302,12 @@ class WorkStealingScheduler:
                     task = deque_i.pop()
                     state.queued -= 1
                     overhead[i] += pop_cost
+                    if tracing:
+                        tracer.span(
+                            i, "deque.pop", clock.now, clock.now + pop_cost,
+                            cat="task",
+                        )
+                        tracer.counter("queued_tasks", clock.now, state.queued)
                     yield Timeout(pop_cost)
                     yield from execute(i, task)
                     continue
@@ -288,6 +322,12 @@ class WorkStealingScheduler:
                     steals[i] += 1
                     cost = empty_probes * failed_cost + steal_cost
                     overhead[i] += cost
+                    if tracing:
+                        tracer.span(
+                            i, "steal", clock.now, clock.now + cost, cat="task",
+                            args={"victim": victim, "empty_probes": empty_probes},
+                        )
+                        tracer.counter("queued_tasks", clock.now, state.queued)
                     yield Timeout(cost)
                     yield from execute(i, task)
                 else:
@@ -297,6 +337,15 @@ class WorkStealingScheduler:
                         + self.cost_model.backoff(failed_scans)
                     )
                     idle[i] += delay
+                    if tracing:
+                        tracer.span(
+                            i, "idle.backoff", clock.now, clock.now + delay,
+                            cat="task",
+                            args={
+                                "empty_probes": empty_probes,
+                                "failed_scans": failed_scans,
+                            },
+                        )
                     yield Timeout(delay)
 
         for i in range(n):
@@ -365,8 +414,12 @@ class _SchedulerState:
     ``outstanding`` counts tasks not yet finished executing; ``queued``
     counts tasks currently sitting in some deque (stealable), which lets an
     out-of-work thief skip probing when the whole team is drained.
+    ``running`` counts threads currently inside a task body — maintained
+    only while tracing (it feeds the ``busy_threads`` counter track and
+    nothing else).
     """
 
     outstanding: int
     t_done: float
     queued: int = 0
+    running: int = 0

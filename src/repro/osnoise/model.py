@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import NoiseModelError
+from repro.obs.tracer import CPU_TRACK_BASE, Tracer
 from repro.osnoise.placement import IdleFirstPlacement, PlacementPolicy
 from repro.osnoise.source import NoiseEvent, NoiseSource
 from repro.sim.intervals import IntervalSet
@@ -133,6 +134,41 @@ class NoiseRealization:
     def total_stolen(self, cpu: int, t_start: float, t_end: float) -> float:
         """Seconds of *cpu* time stolen inside ``[t_start, t_end)``."""
         return self.stolen_on(cpu).overlap(t_start, t_end)
+
+    # -- observability ---------------------------------------------------------
+
+    def trace_onto(
+        self,
+        tracer: Tracer,
+        cpus: Sequence[int],
+        t_start: float,
+        t_end: float,
+    ) -> int:
+        """Emit this realization's preemptions as spans on per-CPU tracks.
+
+        Every noise event on one of *cpus* overlapping ``[t_start, t_end)``
+        becomes a span named by its kind on track
+        ``CPU_TRACK_BASE + cpu``, clipped to the window.  A cold
+        annotation helper (one call per traced run, after the benchmark
+        finished), guarded on entry; returns the number of spans emitted.
+        """
+        if not tracer.enabled:
+            return 0
+        emitted = 0
+        for cpu in sorted(set(int(c) for c in cpus)):
+            tid = CPU_TRACK_BASE + cpu
+            tracer.thread_name(tid, f"cpu {cpu} os-noise")
+            mask = (
+                (self._cpus == cpu)
+                & (self._starts < t_end)
+                & (self._starts + self._durations > t_start)
+            )
+            for j in np.nonzero(mask)[0].tolist():
+                s = max(t_start, float(self._starts[j]))
+                e = min(t_end, float(self._starts[j] + self._durations[j]))
+                tracer.span(tid, self._kinds[j], s, e, cat="osnoise")
+                emitted += 1
+        return emitted
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, NoiseRealization):

@@ -17,6 +17,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.obs.tracer import Tracer
 from repro.sched.balancer import BalancerModel, StackingEpisode
 from repro.sched.migration import MigrationEvent, MigrationModel
 from repro.sched.params import SchedParams
@@ -58,6 +59,33 @@ class ForkOutcome:
 
     def stacked_threads(self) -> tuple[int, ...]:
         return tuple(sorted({e.thread for e in self.episodes}))
+
+
+def trace_fork(tracer: Tracer, outcome: ForkOutcome, t0: float) -> None:
+    """Emit one fork's scheduler-wakeup picture onto *tracer* at *t0*.
+
+    Each worker whose wake delay is non-zero gets a ``wakeup`` span on its
+    thread track (futex wake + IPI + idle exit, plus any runqueue wait for
+    stacked unbound threads); stacking episodes additionally get a
+    ``stacked`` span covering their reduced-CPU-share interval.  A cold
+    annotation helper: called once per fork, guarded on entry.
+    """
+    if not tracer.enabled:
+        return
+    delays = outcome.wake_delays
+    for i in range(1, outcome.n_threads):
+        d = float(delays[i])
+        if d > 0.0:
+            tracer.span(
+                i, "wakeup", t0, t0 + d, cat="sched",
+                args={"cpu": int(outcome.cpus[i])},
+            )
+    for ep in outcome.episodes:
+        # episode windows are already absolute (sampled at fork time)
+        tracer.span(
+            ep.thread, "stacked", ep.start, ep.end, cat="sched",
+            args={"share": ep.share},
+        )
 
 
 class SchedulerModel:

@@ -34,12 +34,14 @@ from repro.sim.engine import Engine
 from repro.sim.process import Timeout
 
 __all__ = [
+    "append_trajectory",
     "bench_callback_events",
     "bench_process_events",
     "bench_cancel_churn",
     "bench_figure8_smoke",
     "carry_baseline",
     "run_benchmarks",
+    "write_report",
 ]
 
 
@@ -229,18 +231,58 @@ def carry_baseline(report: dict[str, Any], prior: dict[str, Any]) -> dict[str, A
     return report
 
 
-def write_report(report: dict[str, Any], path: Any) -> dict[str, Any]:
-    """Write *report* to *path*, carrying any recorded baseline forward.
+def append_trajectory(
+    report: dict[str, Any],
+    prior: dict[str, Any] | None,
+    stamp: str | None = None,
+) -> dict[str, Any]:
+    """Extend the prior report's append-only ``trajectory`` into *report*.
 
-    The one place the prior-report load / :func:`carry_baseline` / JSON
-    serialization sequence lives — the ``repro-omp bench`` CLI and the
-    ``benchmarks/bench_engine.py`` script both route through it, so the
-    two emitters cannot diverge.  Returns the (possibly augmented) report.
+    Historically ``repro-omp bench --out`` clobbered the whole file, so
+    every re-run erased the performance history.  The trajectory is an
+    append-only list of past measurements: the prior file's entries are
+    carried over and the *prior* report's own headline numbers are
+    appended as one entry ``{stamp?, quick, engine, figure8_smoke}``
+    before the fresh report replaces them at top level.  *stamp* is a
+    caller-provided label (``--stamp``, e.g. a date or commit id) attached
+    to the **new** report so the *next* run records it; nothing here reads
+    a wall clock — an unstamped entry is simply unlabeled.
+    """
+    entries = []
+    if isinstance(prior, dict):
+        prior_entries = prior.get("trajectory")
+        if isinstance(prior_entries, list):
+            entries.extend(prior_entries)
+        snapshot: dict[str, Any] = {}
+        if prior.get("stamp") is not None:
+            snapshot["stamp"] = prior["stamp"]
+        for key in ("quick", "engine", "figure8_smoke"):
+            if key in prior:
+                snapshot[key] = prior[key]
+        if "engine" in snapshot or "figure8_smoke" in snapshot:
+            entries.append(snapshot)
+    if stamp is not None:
+        report["stamp"] = stamp
+    report["trajectory"] = entries
+    return report
+
+
+def write_report(
+    report: dict[str, Any], path: Any, stamp: str | None = None
+) -> dict[str, Any]:
+    """Write *report* to *path*, carrying baseline and history forward.
+
+    The one place the prior-report load / :func:`carry_baseline` /
+    :func:`append_trajectory` / JSON serialization sequence lives — the
+    ``repro-omp bench`` CLI and the ``benchmarks/bench_engine.py`` script
+    both route through it, so the two emitters cannot diverge.  Returns
+    the (possibly augmented) report.
     """
     import json
     from pathlib import Path
 
     out = Path(path)
+    prior = None
     if out.exists():
         try:
             prior = json.loads(out.read_text())
@@ -248,5 +290,6 @@ def write_report(report: dict[str, Any], path: Any) -> dict[str, Any]:
             prior = None
         if isinstance(prior, dict):
             report = carry_baseline(report, prior)
+    report = append_trajectory(report, prior, stamp=stamp)
     out.write_text(json.dumps(report, indent=1) + "\n")
     return report

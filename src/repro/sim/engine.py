@@ -29,6 +29,7 @@ from heapq import heapify, heappop, heappush
 from typing import Callable, Generator, Optional
 
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.clock import Clock
 from repro.sim.process import Process, Timeout
 
@@ -95,6 +96,7 @@ class Engine:
     __slots__ = (
         "clock",
         "max_events",
+        "tracer",
         "_queue",
         "_seq",
         "_events_executed",
@@ -102,11 +104,20 @@ class Engine:
         "_handles",
     )
 
-    def __init__(self, clock: Optional[Clock] = None, max_events: Optional[int] = None):
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        max_events: Optional[int] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
         if max_events is not None and max_events <= 0:
             raise SimulationError(f"max_events must be positive, got {max_events}")
         self.clock = clock if clock is not None else Clock()
         self.max_events = max_events
+        #: Observability sink (docs/observability.md).  The engine emits
+        #: one coarse span per run() call — never per event — so the
+        #: tracer costs one attribute read per episode on the null path.
+        self.tracer = tracer
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._events_executed = 0
@@ -275,6 +286,7 @@ class Engine:
         cancelled = self._cancelled
         handles = self._handles
         clock = self.clock
+        t_begin = clock.now
         while queue:
             head = queue[0]
             if cancelled and head[1] in cancelled:
@@ -307,3 +319,8 @@ class Engine:
             executed += 1
         if until is not None and until > clock.now:
             clock.advance_to(until)
+        if self.tracer.enabled and executed:
+            self.tracer.span(
+                0, "engine.run", t_begin, clock.now, cat="engine",
+                args={"events": executed, "pending": self.pending},
+            )
