@@ -1,5 +1,6 @@
 """Determinism rules: DET001 (ambient nondeterminism), DET002 (set-order
-iteration), DET003 (cache-key purity).
+iteration), DET003 (cache-key purity), DET004 (shard/manifest identity
+purity).
 
 These are the static mirrors of the determinism contracts the repo
 enforces dynamically: byte-locked goldens, serial == jobs=N == cached
@@ -410,3 +411,81 @@ class CacheKeyPurity(Rule):
                     f"field path {field_name!r} never flows into to_dict(): "
                     f"changing it would NOT invalidate cached results",
                 )
+
+
+# ---------------------------------------------------------------------------
+# DET004 — shard/manifest identity purity
+# ---------------------------------------------------------------------------
+
+#: Calls that inject per-process / per-host / per-moment state.  Any of
+#: these inside shard-assignment or manifest code would let two workers
+#: of the same partition compute different splits or identities.
+_IDENTITY_BANNED_CALLS = {
+    **_BANNED_CALLS,
+    "os.getpid": "the process id",
+    "os.getppid": "the parent process id",
+    "socket.gethostname": "the host name",
+    "platform.node": "the host name",
+}
+
+#: Scope-name fragments that mark distributed-identity code.  Matching is
+#: case-insensitive over the enclosing class/function names, so
+#: ``ShardedBackend.execute``, ``Sweep._run_shard`` and
+#: ``write_shard_manifest`` are all in scope.
+_IDENTITY_SCOPE_FRAGMENTS = ("shard", "manifest")
+
+
+@register_rule
+class ShardIdentityPurity(Rule):
+    """DET004: shard assignment and manifest identity must be pure."""
+
+    id = "DET004"
+    title = "no wall-clock/pid/host state in shard or manifest code"
+    rationale = (
+        "A sharded sweep only partitions correctly because every worker "
+        "computes the identical assignment from the configs' content "
+        "hashes alone, and gather only verifies because manifest entry "
+        "identities are pure functions of config + entry bytes.  A "
+        "wall-clock read, process id, host name or entropy draw inside "
+        "that code makes workers disagree — configs silently skipped or "
+        "simulated twice, manifests that never match."
+    )
+    fix_hint = (
+        "derive shard membership and manifest identity from cache keys / "
+        "file digests only; keep timing in the metrics registry and pid "
+        "suffixes in helpers outside shard/manifest scopes (e.g. "
+        "_atomic_write_json)"
+    )
+    packages = ("harness",)
+    node_types = (ast.Call,)
+
+    def visit(
+        self, node: ast.Call, ctx: FileContext, state: WalkState,
+        report: Reporter,
+    ) -> None:
+        scopes = [name.lower() for name in state.scope_stack]
+        if not any(
+            fragment in scope
+            for scope in scopes
+            for fragment in _IDENTITY_SCOPE_FRAGMENTS
+        ):
+            return
+        dotted = ctx.resolve(node.func)
+        if dotted is None:
+            return
+        head = dotted.split(".", 1)[0]
+        if head in _BANNED_PREFIXES:
+            report(
+                node,
+                f"{dotted}() draws from {_BANNED_PREFIXES[head]} inside "
+                f"shard/manifest code; workers would compute different "
+                f"partitions or identities",
+            )
+            return
+        if dotted in _IDENTITY_BANNED_CALLS:
+            report(
+                node,
+                f"{dotted}() reads {_IDENTITY_BANNED_CALLS[dotted]} inside "
+                f"shard/manifest code; shard assignment and manifest "
+                f"identity must be pure functions of config content",
+            )

@@ -41,6 +41,21 @@ records as CSV or JSON::
     repro-omp sweep --grid num_threads=4,8 --grid runtime=gnu,llvm \
         --runs 5 --reps 20 --out sweep.csv
 
+Shard one sweep across independent workers (different terminals, or
+different hosts sharing one cache directory), then assemble the shards
+into a result byte-identical to the unsharded run (see
+docs/distributed.md)::
+
+    repro-omp sweep --grid num_threads=4,8,16 --shard 0/2 --cache-dir /shared/cache
+    repro-omp sweep --grid num_threads=4,8,16 --shard 1/2 --cache-dir /shared/cache
+    repro-omp gather --grid num_threads=4,8,16 --cache-dir /shared/cache \
+        --expect-shards 2 --out sweep.csv
+
+Inspect or clean a cache directory::
+
+    repro-omp cache stats --cache-dir /shared/cache
+    repro-omp cache gc --cache-dir /shared/cache
+
 Check the tree against the determinism & hot-path contracts (see
 docs/static-analysis.md); intentional exceptions live in the committed
 ``lint-baseline.json``::
@@ -62,6 +77,7 @@ from pathlib import Path
 
 from repro.bench.registry import available_benchmarks
 from repro.errors import ReproError
+from repro.harness.backend import available_backends, make_backend, parse_shard
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiments import (
@@ -72,20 +88,34 @@ from repro.harness.experiments import (
 from repro.harness.parallel import ParallelRunner
 from repro.harness.report import (
     render_group_summaries,
+    render_shard_summary,
     render_study_overview,
     render_tasking_summary,
     split_tasking_labels,
 )
+from repro.harness.shard import ShardRunComplete
 from repro.harness.study import Study, coerce_token
 from repro.omp.vendor import available_runtimes, get_runtime_profile
 from repro.platform import available_platforms, get_platform
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
-    """--jobs / --cache-dir / --no-cache, shared by experiment and run."""
+    """--jobs / --backend / --shard / --cache-dir / --no-cache, shared by
+    experiment, run and sweep."""
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the run fan-out (0 = all cores; default 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=available_backends(), default="auto",
+        help="execution backend (default auto: serial for --jobs 1, a "
+             "process pool otherwise; see docs/distributed.md)",
+    )
+    parser.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="execute only shard I of an N-way partition of the configs "
+             "(zero-based; requires --cache-dir shared by all shards, then "
+             "`repro-omp gather`; see docs/distributed.md)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -118,6 +148,13 @@ def _make_cache(args: argparse.Namespace) -> ResultCache | None:
     if args.cache_dir is None or args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _make_backend(args: argparse.Namespace):
+    """The ExecutionBackend the --backend/--shard/--jobs flags ask for
+    (``None`` keeps the Sweep's own jobs-based default)."""
+    shard = parse_shard(args.shard) if args.shard is not None else None
+    return make_backend(args.backend, jobs=args.jobs, shard=shard)
 
 
 def _finish_obs(args: argparse.Namespace, configs, metrics) -> None:
@@ -291,6 +328,84 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_execution_flags(p_sweep)
     _add_obs_flags(p_sweep)
 
+    p_gather = sub.add_parser(
+        "gather",
+        help="assemble the shards of a --shard i/N run from their shared "
+             "cache dir into one verified result (see docs/distributed.md)",
+    )
+    _add_config_flags(p_gather)
+    # the sweep parser defaults --runs to 10; gather defaults it to None
+    # so experiment-mode gather leaves each driver's own default alone
+    # (sweep-mode normalizes None back to 10 for spec parity with sweep)
+    p_gather.set_defaults(runs=None)
+    p_gather.add_argument(
+        "--grid", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="sweep axis, exactly as passed to the sharded sweep",
+    )
+    p_gather.add_argument(
+        "--zip", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="zip axes, exactly as passed to the sharded sweep",
+    )
+    p_gather.add_argument(
+        "--experiment", default=None, choices=available_experiments(),
+        metavar="NAME",
+        help="gather a sharded `experiment NAME` run instead of a sweep: "
+             "verify the manifests, then render the artifact from cache "
+             "only (never simulating)",
+    )
+    p_gather.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the cache directory every shard wrote into",
+    )
+    p_gather.add_argument(
+        "--expect-shards", dest="expect_shards", type=int, default=None,
+        metavar="N",
+        help="fail unless the manifests form exactly this partition size "
+             "(guards against gathering a stale or mixed cache dir)",
+    )
+    p_gather.add_argument(
+        "--label", default=None, metavar="SERIES",
+        help="measurement series to summarize (default: each result's first)",
+    )
+    p_gather.add_argument(
+        "--group-by", dest="group_by", action="append", default=[],
+        metavar="KEY",
+        help="axis to aggregate pooled variability over (repeatable)",
+    )
+    p_gather.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="export tidy records here — byte-identical to what the same "
+             "sweep flags export unsharded",
+    )
+    p_gather.add_argument(
+        "--telemetry", action="store_true",
+        help="print the merged per-shard harness telemetry",
+    )
+    p_gather.add_argument(
+        "--telemetry-out", dest="telemetry_out", default=None, metavar="PATH",
+        help="export the merged metrics registry as JSON",
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clean a result cache directory",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats",
+        help="entry count, bytes, per-version breakdown and hit rate",
+    )
+    p_cache_stats.add_argument("--cache-dir", required=True, metavar="DIR")
+    p_cache_stats.add_argument(
+        "--format", dest="fmt", choices=["text", "json"], default="text",
+    )
+    p_cache_gc = cache_sub.add_parser(
+        "gc",
+        help="prune entries orphaned by code/schema version bumps "
+             "(their keys can never be looked up again)",
+    )
+    p_cache_gc.add_argument("--cache-dir", required=True, metavar="DIR")
+
     p_bench = sub.add_parser(
         "bench",
         help="measure engine throughput (events/sec) and record the "
@@ -400,6 +515,7 @@ def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
         "seed": args.seed,
         "jobs": args.jobs,
         "cache": _make_cache(args),
+        "backend": _make_backend(args),
     }
     if args.runs is not None:
         kwargs["runs"] = args.runs
@@ -418,7 +534,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     metrics = MetricsRegistry()
     result = ParallelRunner(
-        config, jobs=args.jobs, cache=_make_cache(args), metrics=metrics
+        config, jobs=args.jobs, cache=_make_cache(args), metrics=metrics,
+        backend=_make_backend(args),
     ).run()
     time_labels, metric_labels = split_tasking_labels(result.labels())
     for label in time_labels:
@@ -441,9 +558,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.obs.metrics import MetricsRegistry
-
+def _build_sweep_study(args: argparse.Namespace) -> Study:
+    """The Study the sweep flags describe — shared verbatim by ``sweep``
+    and ``gather`` so a gathered sharded run expands the exact same
+    configs (and hence cache keys) the shard workers ran."""
     study = Study(
         _config_from_args(args, include_reps=False),
         name="sweep",
@@ -465,9 +583,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 **cfg.benchmark_params,
             }
         )
-    metrics = MetricsRegistry()
-    result = study.run(jobs=args.jobs, cache=_make_cache(args), metrics=metrics)
+    return study
 
+
+def _render_sweep_report(args: argparse.Namespace, result) -> None:
+    """Sweep overview + group summaries + optional export, shared by
+    ``sweep`` and ``gather`` (identical flags produce identical exports)."""
     axes = ", ".join(result.axes) if result.axes else "(none)"
     print(f"sweep: {len(result)} configuration(s); swept axes: {axes}")
     print()
@@ -493,8 +614,138 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             n_records = result.to_csv(out)
         print(f"\nexported {n_records} tidy records to {out}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
+    study = _build_sweep_study(args)
+    metrics = MetricsRegistry()
+    result = study.run(
+        jobs=args.jobs, cache=_make_cache(args), metrics=metrics,
+        backend=_make_backend(args),
+    )
+    _render_sweep_report(args, result)
     _finish_obs(args, list(result.configs), metrics)
     return 0
+
+
+def _cmd_gather(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.report import render_gather_summary, render_telemetry
+    from repro.harness.shard import (
+        ReplayCache,
+        load_manifests,
+        verify_manifest_entries,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    cache = ResultCache(args.cache_dir)
+
+    if args.experiment is not None:
+        # verify the partition + entry digests, then replay the driver
+        # from cache only.  Diagnostics go to stderr: stdout carries the
+        # artifact alone, byte-comparable with `repro-omp experiment`.
+        manifests = load_manifests(cache, args.expect_shards)
+        verified = verify_manifest_entries(cache, manifests)
+        total_bytes = sum(
+            e["bytes"] for p in manifests.values() for e in p["entries"]
+        )
+        print(
+            render_gather_summary(
+                len(manifests), verified, total_bytes, verified
+            ),
+            file=sys.stderr,
+        )
+        spec = get_experiment(args.experiment)
+        kwargs: dict = {
+            "seed": args.seed,
+            "jobs": 1,
+            "cache": ReplayCache(args.cache_dir),
+        }
+        if args.runs is not None:
+            kwargs["runs"] = args.runs
+        if args.reps is not None:
+            for key in spec.rep_params:
+                kwargs[key] = args.reps
+        artifact = spec.driver(**kwargs)
+        print(artifact.render())
+        return 0
+
+    if args.runs is None:
+        args.runs = 10  # the sweep parser's default: keep spec parity
+    study = _build_sweep_study(args)
+    metrics = MetricsRegistry()
+    result = study.gather(
+        cache, expected_shards=args.expect_shards, metrics=metrics
+    )
+    print(
+        render_gather_summary(
+            int(metrics.gauge("manifest_shards").value),
+            int(metrics.counter("manifest_entries_verified").value),
+            metrics.gauge("manifest_total_bytes").value,
+            len(result),
+        )
+    )
+    print()
+    _render_sweep_report(args, result)
+    if args.telemetry:
+        print()
+        print(render_telemetry(metrics))
+    if args.telemetry_out:
+        Path(args.telemetry_out).write_text(
+            json.dumps(metrics.to_dict(), indent=1) + "\n"
+        )
+        print(f"wrote telemetry JSON to {args.telemetry_out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.fmt == "json":
+            print(json.dumps(stats, indent=1))
+            return 0
+        print(f"cache: {stats['cache_dir']}")
+        print(
+            f"entries: {stats['entries']} "
+            f"({stats['total_bytes']:,} bytes)"
+        )
+        if stats["by_version"]:
+            breakdown = ", ".join(
+                f"{version}: {count}"
+                for version, count in stats["by_version"].items()
+            )
+            print(f"by producing version: {breakdown}")
+        rate = (
+            "n/a (no lookups by this process)"
+            if stats["hit_rate"] is None
+            else f"{stats['hit_rate']:.1%}"
+        )
+        print(
+            f"traffic (this process): {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['stores']} store(s); "
+            f"hit rate {rate}"
+        )
+        print(
+            f"current key version: code {stats['code_version']}, "
+            f"schema {stats['cache_schema']}"
+        )
+        return 0
+    if args.cache_command == "gc":
+        counts = cache.gc()
+        print(
+            f"gc: kept {counts['kept']} entry(ies); removed "
+            f"{counts['removed_stale']} stale, "
+            f"{counts['removed_corrupt']} corrupt, "
+            f"{counts['removed_tmp']} orphaned tmp file(s)"
+        )
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -572,10 +823,19 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "gather":
+            return _cmd_gather(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "lint":
             return _cmd_lint(args)
+    except ShardRunComplete as exc:
+        # not a failure: a --shard i/N worker finished its slice and
+        # recorded its manifest; the gather step assembles the shards
+        print(render_shard_summary(exc.summary))
+        return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -8,7 +8,12 @@ Turns configurations into results:
   optionally with the frequency logger on a spare core;
 * :class:`~repro.harness.parallel.ParallelRunner` /
   :class:`~repro.harness.parallel.Sweep` — fan runs (of one or many
-  configs) out over a process pool, bit-identical to serial execution;
+  configs) out over a pluggable execution backend, bit-identical to
+  serial execution;
+* :mod:`repro.harness.backend` — the execution backends (serial,
+  process pool, one shard of a distributed partition);
+* :mod:`repro.harness.shard` — shard manifests and the gather step that
+  assembles a sharded run into one study result;
 * :class:`~repro.harness.study.Study` /
   :class:`~repro.harness.study.StudyResult` — declarative sweep specs
   (grid/zip/cases axes, derived fields, filters) executed through one
@@ -22,12 +27,22 @@ Turns configurations into results:
 * :mod:`repro.harness.experiments` — one driver per paper table/figure.
 """
 
+from repro.harness.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    make_backend,
+    parse_shard,
+    shard_index_of,
+)
 from repro.harness.cache import ResultCache, cache_key
 from repro.harness.config import ExperimentConfig
 from repro.harness.freqlogger import FrequencyLog, FrequencyLogger
 from repro.harness.parallel import ParallelRunner, Sweep
 from repro.harness.results import ExperimentResult, RunRecord
 from repro.harness.runner import Runner
+from repro.harness.shard import ReplayCache, ShardRunComplete, ShardSummary
 from repro.harness.study import Study, StudyResult
 from repro.harness import experiments
 from repro.harness import report
@@ -39,6 +54,16 @@ __all__ = [
     "Sweep",
     "Study",
     "StudyResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ShardedBackend",
+    "ShardRunComplete",
+    "ShardSummary",
+    "ReplayCache",
+    "make_backend",
+    "parse_shard",
+    "shard_index_of",
     "ResultCache",
     "cache_key",
     "RunRecord",

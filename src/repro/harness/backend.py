@@ -1,0 +1,377 @@
+"""Pluggable execution backends for the sweep engine.
+
+:class:`~repro.harness.parallel.Sweep` owns the *policy* of a batch run —
+cache lookups, result ordering, telemetry — and delegates the *mechanism*
+of simulating the configurations that missed the cache to an
+:class:`ExecutionBackend`.  Three backends implement the protocol:
+
+* :class:`SerialBackend` — simulate in-process, one config at a time (the
+  historical ``jobs=1`` path);
+* :class:`ProcessPoolBackend` — fan individual runs out over a
+  ``ProcessPoolExecutor``, interleaved round-robin by run index (the
+  historical ``jobs=N`` path);
+* :class:`ShardedBackend` — execute only the configurations assigned to
+  one shard of a distributed run, delegating the actual simulation to an
+  inner backend.  Every shard worker computes the same partition from the
+  configs' cache keys alone (see :func:`shard_index_of`), so N workers on
+  N hosts cover a study exactly once with no coordination beyond a shared
+  cache directory (see :mod:`repro.harness.shard` and
+  docs/distributed.md).
+
+All backends produce results *bit-identical* to serial execution: a
+backend only decides where and in what order runs simulate, never what
+they compute (the named RNG streams derive every run from
+``(master seed, run index)`` alone).
+
+Shard assignment is deliberately a pure function of the configuration's
+cache key: it must not depend on wall-clock time, process ids, host
+names or the order in which configs were expanded — otherwise two
+workers could compute different partitions and silently skip or
+duplicate work.  The DET004 lint rule enforces this statically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ExperimentResult, RunRecord
+from repro.harness.runner import Runner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "available_backends",
+    "make_backend",
+    "parse_shard",
+    "resolve_jobs",
+    "shard_index_of",
+]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a job-count request: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+#: Hex digits of the cache key consumed by shard assignment.  16 nibbles
+#: = 64 bits, far beyond any realistic shard count, and cheap to parse.
+_SHARD_KEY_NIBBLES = 16
+
+
+def shard_index_of(key: str, shard_count: int) -> int:
+    """Deterministic shard assignment for one cache *key*.
+
+    A pure function of the key's leading 64 bits and the shard count:
+    independent of config order, wall time, process and host, so every
+    worker of an N-shard run computes the identical partition.  Because
+    the cache key is itself a SHA-256 over the canonical config JSON,
+    assignment is uniform across shards for any config family.
+    """
+    if shard_count <= 0:
+        raise ConfigurationError(f"shard_count must be positive, got {shard_count}")
+    return int(key[:_SHARD_KEY_NIBBLES], 16) % shard_count
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse an ``I/N`` shard spec into ``(shard_index, shard_count)``.
+
+    ``I`` is zero-based and must satisfy ``0 <= I < N``.
+    """
+    index_text, sep, count_text = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError("missing '/'")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad shard spec {spec!r}: expected I/N with integers, "
+            f"e.g. --shard 0/4"
+        ) from None
+    if count <= 0:
+        raise ConfigurationError(f"shard count must be positive, got {count}")
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index {index} out of range for {count} shard(s) "
+            f"(zero-based: 0..{count - 1})"
+        )
+    return index, count
+
+
+class ExecutionBackend:
+    """Protocol: simulate a batch of cache-missed configurations.
+
+    :meth:`execute` receives ``(config, cache_key)`` pairs and returns a
+    list aligned with its input: each element is an
+    ``(ExperimentResult, wall_seconds)`` tuple for a config this backend
+    executed, or ``None`` for a config it deliberately skipped (only
+    :class:`ShardedBackend` skips; whole-batch backends never return
+    ``None``).  ``wall_seconds`` is telemetry — the wall time the
+    config's simulation consumed (summed across workers for pooled
+    execution) — and never flows into results or cache keys.
+    """
+
+    #: Display name (CLI ``--backend`` value for constructible backends).
+    name: str = "abstract"
+    #: Whether this backend executes only a subset of its input batch.
+    is_sharded: bool = False
+
+    @property
+    def workers(self) -> int:
+        """Worker processes this backend occupies (1 for in-process)."""
+        return 1
+
+    def execute(
+        self,
+        pending: Sequence[tuple[ExperimentConfig, str]],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> list[tuple[ExperimentResult, float] | None]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Simulate every pending config in-process, in input order."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        pending: Sequence[tuple[ExperimentConfig, str]],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> list[tuple[ExperimentResult, float] | None]:
+        out: list[tuple[ExperimentResult, float] | None] = []
+        for cfg, _key in pending:
+            t_cfg = time.time()
+            runner = Runner(cfg)
+            records = []
+            for run in range(cfg.runs):
+                t_run = time.time()
+                record = runner.run_one(run)
+                records.append(replace(
+                    record,
+                    worker_id="main",
+                    wall_seconds=time.time() - t_run,
+                ))
+            result = ExperimentResult(config=cfg, records=tuple(records))
+            out.append((result, time.time() - t_cfg))
+        return out
+
+
+#: Per-worker-process table of constructed runners (config key -> Runner).
+_WORKER_RUNNERS: dict[str, Runner] = {}
+
+
+def _execute_run(
+    key: str, config: ExperimentConfig, run_index: int
+) -> tuple[RunRecord, float]:
+    """Worker entry point: simulate one run of *config* by index.
+
+    Returns the record stamped with execution provenance (worker id + wall
+    duration; both ``compare=False`` and never serialized, see
+    :class:`~repro.harness.results.RunRecord`) alongside the wall time at
+    which the worker actually started — the parent subtracts its submit time
+    to measure queue wait.
+    """
+    t_started = time.time()
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = _WORKER_RUNNERS[key] = Runner(config)
+    record = runner.run_one(run_index)
+    stamped = replace(
+        record,
+        worker_id=f"pid{os.getpid()}",
+        wall_seconds=time.time() - t_started,
+    )
+    return stamped, t_started
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan the runs of every pending config out over a process pool.
+
+    Runs are interleaved round-robin by run index so every config makes
+    progress from the start instead of whole configs queueing FIFO; the
+    parent reassembles records in run order, so results are bit-identical
+    to serial execution.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+
+    @property
+    def workers(self) -> int:
+        return self.jobs
+
+    def execute(
+        self,
+        pending: Sequence[tuple[ExperimentConfig, str]],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> list[tuple[ExperimentResult, float] | None]:
+        if not pending:
+            return []
+        # interleave round-robin by run index so every config makes progress
+        # from the start instead of queueing whole configs FIFO
+        tasks = sorted(
+            (run, i, cfg, key)
+            for i, (cfg, key) in enumerate(pending)
+            for run in range(cfg.runs)
+        )
+        max_workers = min(self.jobs, len(tasks))
+        m = metrics
+        out: list[tuple[ExperimentResult, float] | None] = [None] * len(pending)
+        t_pool = time.time()
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            submits: dict[tuple[int, int], float] = {}
+            futures = {}
+            for run, i, cfg, key in tasks:
+                submits[(i, run)] = time.time()
+                futures[(i, run)] = pool.submit(_execute_run, key, cfg, run)
+            for i, (cfg, _key) in enumerate(pending):
+                records = []
+                for run in range(cfg.runs):
+                    record, t_started = futures[(i, run)].result()
+                    records.append(record)
+                    if m is not None:
+                        m.histogram("queue_wait_seconds").observe(
+                            max(0.0, t_started - submits[(i, run)])
+                        )
+                result = ExperimentResult(config=cfg, records=tuple(records))
+                # pooled configs report the CPU time their runs consumed
+                # (run walls overlap across workers, so elapsed is not it)
+                out[i] = (result, sum(r.wall_seconds or 0.0 for r in records))
+        if m is not None:
+            elapsed = time.time() - t_pool
+            busy = sum(outcome[1] for outcome in out if outcome is not None)
+            m.gauge("pool_elapsed_seconds").set(elapsed)
+            m.gauge("pool_utilization").set(
+                min(1.0, busy / (elapsed * max_workers)) if elapsed > 0 else 0.0
+            )
+            used = {
+                rec.worker_id
+                for outcome in out
+                if outcome is not None
+                for rec in outcome[0].records
+            }
+            m.gauge("pool_workers_used").set(len(used))
+        return out
+
+
+class ShardedBackend(ExecutionBackend):
+    """Execute only the configs assigned to shard ``shard_index`` of
+    ``shard_count``, delegating the simulation to *inner*.
+
+    Assignment is :func:`shard_index_of` over each config's cache key —
+    a pure content hash, so independent workers running the same study
+    with ``--shard 0/N`` .. ``--shard N-1/N`` partition it exactly, in
+    any order, on any host.  Skipped configs come back as ``None``; the
+    sweep layer writes a shard manifest and stops instead of returning
+    partial results (see :mod:`repro.harness.shard`).
+    """
+
+    name = "sharded"
+    is_sharded = True
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        inner: ExecutionBackend | None = None,
+    ):
+        if shard_count <= 0:
+            raise ConfigurationError(
+                f"shard_count must be positive, got {shard_count}"
+            )
+        if not 0 <= shard_index < shard_count:
+            raise ConfigurationError(
+                f"shard index {shard_index} out of range for "
+                f"{shard_count} shard(s)"
+            )
+        if inner is not None and inner.is_sharded:
+            raise ConfigurationError("sharded backends do not nest")
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.inner = inner if inner is not None else SerialBackend()
+
+    @property
+    def workers(self) -> int:
+        return self.inner.workers
+
+    @property
+    def label(self) -> str:
+        """Display form, e.g. ``"0/4"``."""
+        return f"{self.shard_index}/{self.shard_count}"
+
+    def assigns(self, key: str) -> bool:
+        """Whether the config with cache *key* belongs to this shard."""
+        return shard_index_of(key, self.shard_count) == self.shard_index
+
+    def execute(
+        self,
+        pending: Sequence[tuple[ExperimentConfig, str]],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> list[tuple[ExperimentResult, float] | None]:
+        mine = [
+            (i, pair) for i, pair in enumerate(pending) if self.assigns(pair[1])
+        ]
+        inner_out = self.inner.execute([pair for _i, pair in mine], metrics)
+        out: list[tuple[ExperimentResult, float] | None] = [None] * len(pending)
+        for (i, _pair), outcome in zip(mine, inner_out):
+            out[i] = outcome
+        return out
+
+
+#: ``--backend`` choices: ``auto`` picks serial for jobs=1, process otherwise.
+_BACKEND_NAMES = ("auto", "serial", "process")
+
+
+def available_backends() -> tuple[str, ...]:
+    return _BACKEND_NAMES
+
+
+def make_backend(
+    name: str | None = "auto",
+    jobs: int | None = 1,
+    shard: tuple[int, int] | None = None,
+) -> ExecutionBackend | None:
+    """Build a backend from CLI-shaped knobs.
+
+    ``name`` is one of :func:`available_backends`; ``auto`` (or ``None``)
+    resolves to :class:`SerialBackend` for one worker and
+    :class:`ProcessPoolBackend` otherwise — with no *shard*, ``auto``
+    returns ``None`` so callers keep the sweep's own default path.
+    *shard* wraps the chosen backend in a :class:`ShardedBackend`.
+    """
+    name = "auto" if name is None else name
+    if name not in _BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; choose from {_BACKEND_NAMES}"
+        )
+    if name == "auto" and shard is None:
+        return None
+    if name == "serial":
+        inner: ExecutionBackend = SerialBackend()
+    elif name == "process":
+        inner = ProcessPoolBackend(jobs)
+    else:  # auto
+        inner = (
+            SerialBackend() if resolve_jobs(jobs) == 1 else ProcessPoolBackend(jobs)
+        )
+    if shard is None:
+        return inner
+    shard_index, shard_count = shard
+    return ShardedBackend(shard_index, shard_count, inner)

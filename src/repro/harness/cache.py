@@ -20,11 +20,24 @@ silently hashing a ``repr`` (which can embed per-process memory addresses
 and would yield a fresh key — and a fresh cache entry — every process).
 
 Entries are single JSON files named ``<key>.json`` produced by
-:meth:`ExperimentResult.to_dict`, written atomically (temp file +
+:meth:`ExperimentResult.to_dict` plus a ``cache_meta`` block recording the
+producing code/schema version (ignored by
+:meth:`ExperimentResult.from_dict`, read back by :meth:`ResultCache.stats`
+and :meth:`ResultCache.gc`), written atomically (temp file +
 ``os.replace``) so a crashed writer never leaves a truncated entry behind.
 Corrupt or unreadable entries are treated as misses and deleted; stale
 ``<key>.json.tmp.<pid>`` files from crashed writers are swept on init and
-on :meth:`ResultCache.clear`.
+on :meth:`ResultCache.clear`.  Because keys embed the code version, a
+version bump silently *orphans* every older entry rather than deleting
+it; :meth:`ResultCache.gc` prunes those dead keys (any entry whose
+recomputed key no longer matches its filename) so shared cache
+directories don't grow without bound.
+
+Shard manifests (``shard-<i>of<n>.manifest.json``, see
+:mod:`repro.harness.shard`) live in the same directory but are *not*
+cache entries: entry enumeration matches only 64-hex-digit names, so
+manifests never count toward :meth:`ResultCache.__len__`, ``stats`` or
+``gc`` (``clear`` removes them along with everything else).
 
 The cache keeps ``hits`` / ``misses`` / ``stores`` counters so callers (and
 tests) can assert that a warmed cache performs zero new simulation runs;
@@ -37,6 +50,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -62,6 +76,9 @@ def _pid_alive(pid: int) -> bool:
 
 #: Bump when the on-disk entry layout changes (invalidates all entries).
 CACHE_SCHEMA_VERSION = 1
+
+#: Cache entry filenames are the full SHA-256 hex digest.
+_ENTRY_NAME_RE = re.compile(r"^[0-9a-f]{64}\.json$")
 
 
 def _unserializable_paths(value, prefix: str = "") -> list[str]:
@@ -207,10 +224,22 @@ class ResultCache:
         return result
 
     def put(self, result: "ExperimentResult") -> Path:
-        """Store *result* atomically; returns the entry path."""
+        """Store *result* atomically; returns the entry path.
+
+        The entry embeds a ``cache_meta`` block naming the code/schema
+        version that produced it — read back by :meth:`stats` and
+        :meth:`gc`, invisible to :meth:`ExperimentResult.from_dict`.
+        """
         path = self.path_for(result.config)
+        payload = {
+            **result.to_dict(),
+            "cache_meta": {
+                "code_version": _code_version,
+                "cache_schema": CACHE_SCHEMA_VERSION,
+            },
+        }
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(result.to_dict()))
+        tmp.write_text(json.dumps(payload))
         try:
             os.replace(tmp, path)
         except FileNotFoundError as exc:
@@ -224,10 +253,17 @@ class ResultCache:
 
     # -- maintenance --------------------------------------------------------------
 
+    def _entry_files(self):
+        """Committed cache entries only (manifests and tmps excluded)."""
+        for path in self.cache_dir.glob("*.json"):
+            if _ENTRY_NAME_RE.match(path.name):
+                yield path
+
     def clear(self) -> int:
-        """Delete every entry (and stale tmp files); returns the number of
-        *entries* removed.  A live concurrent writer's in-flight tmp is
-        spared — deleting it would crash that writer's rename.
+        """Delete every entry, shard manifest and stale tmp file; returns
+        the number of *entries* removed.  A live concurrent writer's
+        in-flight tmp is spared — deleting it would crash that writer's
+        rename.
 
         The ``hits`` / ``misses`` / ``stores`` counters are reset too: a
         cleared cache is an empty cache, and a test that clears between
@@ -235,18 +271,95 @@ class ResultCache:
         accumulated before the clear.
         """
         removed = 0
-        for entry in self.cache_dir.glob("*.json"):
-            entry.unlink(missing_ok=True)
-            removed += 1
+        for path in self.cache_dir.glob("*.json"):
+            is_entry = _ENTRY_NAME_RE.match(path.name) is not None
+            path.unlink(missing_ok=True)
+            if is_entry:
+                removed += 1
         self.sweep_stale_tmp()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         return removed
 
+    def stats(self) -> dict:
+        """Inventory + traffic snapshot (``repro-omp cache stats``).
+
+        Walks the entries once: count, total bytes, and a per-producing-
+        version breakdown from each entry's ``cache_meta`` (entries from
+        before ``cache_meta`` existed report as ``"unknown"``, unparseable
+        ones as ``"corrupt"``).  Traffic counters describe *this process's*
+        cache object since construction/:meth:`clear`, so ``hit_rate`` is
+        ``None`` until the cache has served a lookup.
+        """
+        entries = 0
+        total_bytes = 0
+        by_version: dict[str, int] = {}
+        for path in self._entry_files():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+                meta = json.loads(path.read_text()).get("cache_meta") or {}
+                version = str(meta.get("code_version", "unknown"))
+            except OSError:
+                continue
+            except ValueError:
+                version = "corrupt"
+            by_version[version] = by_version.get(version, 0) + 1
+        lookups = self.hits + self.misses
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "by_version": dict(sorted(by_version.items())),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hits / lookups if lookups else None,
+            "code_version": _code_version,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+        }
+
+    def gc(self) -> dict:
+        """Prune entries the current code version can never hit.
+
+        Keys embed the code + schema version, so bumping either orphans
+        every older entry under a key no lookup will compute again.  For
+        each entry, recompute the key from the stored config: a mismatch
+        against the filename means the entry predates the current version
+        (or config encoding) — dead weight, deleted.  Unparseable entries
+        are deleted too (``get`` would anyway), and stale tmp files are
+        swept.  Returns ``{"kept", "removed_stale", "removed_corrupt",
+        "removed_tmp"}`` counts.
+        """
+        from repro.harness.config import ExperimentConfig
+
+        kept = removed_stale = removed_corrupt = 0
+        for path in self._entry_files():
+            try:
+                data = json.loads(path.read_text())
+                config = ExperimentConfig.from_dict(data["config"])
+                key = cache_key(config)
+            except Exception:
+                path.unlink(missing_ok=True)
+                removed_corrupt += 1
+                continue
+            if key != path.name[: -len(".json")]:
+                path.unlink(missing_ok=True)
+                removed_stale += 1
+            else:
+                kept += 1
+        removed_tmp = self.sweep_stale_tmp()
+        return {
+            "kept": kept,
+            "removed_stale": removed_stale,
+            "removed_corrupt": removed_corrupt,
+            "removed_tmp": removed_tmp,
+        }
+
     def __len__(self) -> int:
-        """Number of committed entries (in-flight tmp files never count)."""
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        """Number of committed entries (manifests and tmp files never count)."""
+        return sum(1 for _ in self._entry_files())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -60,6 +60,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.errors import HarnessError
+from repro.harness.backend import ExecutionBackend
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import (
@@ -167,6 +168,7 @@ def table2(
     seed: int = 42,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Table 2: higher execution time (us) for schedbench ``dynamic_1``."""
     columns = [
@@ -191,7 +193,7 @@ def table2(
         {"platform": platform, "num_threads": threads, "places": places}
         for platform, threads, places in columns
     ))
-    by_combo = study.run(jobs=jobs, cache=cache).by("platform", "num_threads")
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by("platform", "num_threads")
 
     per_column_means: dict[str, np.ndarray] = {}
     for platform, threads, _places in columns:
@@ -237,6 +239,7 @@ def figure1(
     vera_threads: Sequence[int] = _VERA_THREADS,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 1: syncbench (reduction) time vs HW thread count."""
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
@@ -262,7 +265,7 @@ def figure1(
         ))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
     )
-    by_combo = study.run(jobs=jobs, cache=cache).by("platform", "num_threads")
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by("platform", "num_threads")
 
     sections = []
     data: dict[str, Any] = {}
@@ -304,6 +307,7 @@ def figure2(
     vera_threads: Sequence[int] = _VERA_THREADS,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 2: BabelStream kernel time (ms) vs HW thread count."""
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
@@ -326,7 +330,7 @@ def figure2(
         ))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
     )
-    by_combo = study.run(jobs=jobs, cache=cache).by("platform", "num_threads")
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by("platform", "num_threads")
 
     sections = []
     data: dict[str, Any] = {}
@@ -365,6 +369,7 @@ def figure3(
     vera_threads: Sequence[int] = (2, 8, 16, 30),
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 3: normalized min/max per run vs thread count, 6 panels."""
     panels: list[tuple[str, str]] = []
@@ -414,7 +419,7 @@ def figure3(
         ))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
     )
-    by_combo = study.run(jobs=jobs, cache=cache).by(
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "platform", "benchmark", "num_threads"
     )
 
@@ -458,6 +463,7 @@ def figure4(
     seed: int = 42,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 4: before/after pinning on Dardel."""
     cases = (
@@ -497,7 +503,7 @@ def figure4(
             places=[None if bind == "false" else "cores" for _bound, bind in bindings],
         )
     )
-    by_combo = study.run(jobs=jobs, cache=cache).by(
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "benchmark", "num_threads", "proc_bind"
     )
 
@@ -555,6 +561,7 @@ def figure5(
     seed: int = 42,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 5: ST vs MT at equal thread counts on Dardel."""
     modes = (("ST", "cores"), ("MT", "threads"))
@@ -584,7 +591,7 @@ def figure5(
         ))
         .grid(places=[places for _mode, places in modes])
     )
-    by_places = study.run(jobs=jobs, cache=cache).by("benchmark", "places")
+    by_places = study.run(jobs=jobs, cache=cache, backend=backend).by("benchmark", "places")
     mode_places = dict(modes)
     by_spec = {
         (block, mode): by_places[(bench, mode_places[mode])]
@@ -690,6 +697,7 @@ def _vera_numa_experiment(
     seed: int,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> tuple[tuple[tuple[str, str], ...], dict[str, Any]]:
     placements = (
         ("one-numa (cpus 0-15)", "{0:16}"),
@@ -712,7 +720,7 @@ def _vera_numa_experiment(
         name=f"{benchmark}-numa",
         description="16 Vera cores on 1 vs 2 NUMA domains",
     ).grid(places=[places for _name, places in placements])
-    by_places = study.run(jobs=jobs, cache=cache).by("places")
+    by_places = study.run(jobs=jobs, cache=cache, backend=backend).by("places")
 
     sections = []
     data: dict[str, Any] = {}
@@ -757,6 +765,7 @@ def figure6(
     seed: int = 42,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 6: schedbench on 16 Vera cores, 1 vs 2 NUMA domains."""
     sections, data = _vera_numa_experiment(
@@ -767,6 +776,7 @@ def figure6(
         seed,
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     return ExperimentArtifact(
         name="figure6",
@@ -783,6 +793,7 @@ def figure7(
     seed: int = 42,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 7: syncbench (reduction) on 16 Vera cores, 1 vs 2 NUMA.
 
@@ -799,6 +810,7 @@ def figure7(
         seed,
         jobs=jobs,
         cache=cache,
+        backend=backend,
     )
     return ExperimentArtifact(
         name="figure7",
@@ -825,6 +837,7 @@ def figure8(
     total_iters: int = 512,
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Figure 8: tasking-runtime variability on Vera.
 
@@ -865,7 +878,7 @@ def figure8(
             grainsize=list(grainsizes),
         )
     )
-    by_combo = study.run(jobs=jobs, cache=cache).by(
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "noise", "num_threads", "grainsize"
     )
 
@@ -953,6 +966,7 @@ def runtime_compare(
     wait_policies: Sequence[str] = ("active", "passive"),
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentArtifact:
     """Sweep runtime vendor x wait policy x threads on both platforms.
 
@@ -997,7 +1011,7 @@ def runtime_compare(
         .grid(runtime=list(runtimes), wait_policy=list(wait_policies))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
     )
-    by_combo = study.run(jobs=jobs, cache=cache).by(
+    by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "platform", "runtime", "wait_policy", "num_threads"
     )
 

@@ -1,4 +1,4 @@
-"""Parallel execution of experiment runs over a process pool.
+"""Batch execution of experiment runs through pluggable backends.
 
 The paper's evaluation is a sweep of *independent* benchmark runs: the named
 RNG streams in :mod:`repro.rng` derive every run's realization from
@@ -14,89 +14,61 @@ Two entry points:
 * :class:`ParallelRunner` — drop-in parallel counterpart of
   :class:`~repro.harness.runner.Runner` for one config
   (``jobs=1`` degenerates to the serial runner);
-* :class:`Sweep` — schedules the runs of *many* configs into one shared
-  pool, interleaved round-robin by run index so short configs don't
-  serialize behind long ones, with an optional
+* :class:`Sweep` — schedules many configs through one
+  :class:`~repro.harness.backend.ExecutionBackend`, with an optional
   :class:`~repro.harness.cache.ResultCache` consulted per config before any
   simulation is scheduled.
 
-:class:`Sweep` is the execution backend of the declarative
-:class:`~repro.harness.study.Study` API: a study expands its axes into a
-config list and hands the whole list to one ``Sweep``, so every study —
-and every experiment driver built on one — inherits the same fan-out,
-interleaving and caching semantics described here.
+:class:`Sweep` owns batch *policy* — cache lookups, write-back, result
+ordering, telemetry — and delegates the *mechanism* of simulating
+cache-missed configs to its backend (:mod:`repro.harness.backend`):
+serial in-process, a shared process pool interleaved round-robin by run
+index, or one shard of a distributed partition.  A sharded sweep commits
+its shard's results plus a shard manifest to the cache and then raises
+:class:`~repro.harness.shard.ShardRunComplete` instead of returning — a
+shard has no complete result set to hand back (see
+:mod:`repro.harness.shard` and ``repro-omp gather``).
 
-Workers keep a per-process table of constructed runners keyed by the
+Pool workers keep a per-process table of constructed runners keyed by the
 config's cache key, so a config's platform/runtime/benchmark stack is built
 at most once per worker rather than once per run.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
 from typing import Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import HarnessError
+from repro.harness.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    resolve_jobs,
+)
 from repro.harness.cache import ResultCache, cache_key
 from repro.harness.config import ExperimentConfig
-from repro.harness.results import ExperimentResult, RunRecord
-from repro.harness.runner import Runner
+from repro.harness.results import ExperimentResult
+from repro.harness.shard import ShardRunComplete, ShardSummary, write_shard_manifest
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ParallelRunner", "Sweep", "resolve_jobs"]
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a job-count request: ``None``/``0`` mean "all cores"."""
-    if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ConfigurationError(f"jobs must be positive, got {jobs}")
-    return jobs
-
-
-#: Per-worker-process table of constructed runners (config key -> Runner).
-_WORKER_RUNNERS: dict[str, Runner] = {}
-
-
-def _execute_run(
-    key: str, config: ExperimentConfig, run_index: int
-) -> tuple[RunRecord, float]:
-    """Worker entry point: simulate one run of *config* by index.
-
-    Returns the record stamped with execution provenance (worker id + wall
-    duration; both ``compare=False`` and never serialized, see
-    :class:`~repro.harness.results.RunRecord`) alongside the wall time at
-    which the worker actually started — the parent subtracts its submit time
-    to measure queue wait.
-    """
-    t_started = time.time()
-    runner = _WORKER_RUNNERS.get(key)
-    if runner is None:
-        runner = _WORKER_RUNNERS[key] = Runner(config)
-    record = runner.run_one(run_index)
-    stamped = replace(
-        record,
-        worker_id=f"pid{os.getpid()}",
-        wall_seconds=time.time() - t_started,
-    )
-    return stamped, t_started
-
-
 class Sweep:
-    """Batch executor: many configs, one shared process pool, one cache.
+    """Batch executor: many configs, one execution backend, one cache.
 
     Parameters
     ----------
     jobs:
         Worker processes.  ``1`` executes serially in-process (the
         degenerate case, no pool); ``None``/``0`` use every core.
+        Ignored when an explicit *backend* is given.
     cache:
         Optional :class:`ResultCache`.  Each config is looked up before
         scheduling; finished results (cached or fresh) are written back.
+        Mandatory for sharded backends — the shared cache directory *is*
+        the channel shard workers communicate results through.
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` (plane 2 of
         :mod:`repro.obs`).  When given, each :meth:`run` records config
@@ -104,6 +76,11 @@ class Sweep:
         per-run and per-config wall times, pool worker count and
         utilization, and queue-wait times.  Telemetry only — results are
         byte-identical with or without it.
+    backend:
+        Explicit :class:`~repro.harness.backend.ExecutionBackend`.  When
+        ``None`` (the default), *jobs* picks one:
+        :class:`~repro.harness.backend.SerialBackend` for one worker,
+        :class:`~repro.harness.backend.ProcessPoolBackend` otherwise.
     """
 
     def __init__(
@@ -111,8 +88,13 @@ class Sweep:
         jobs: int | None = 1,
         cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
+        backend: ExecutionBackend | None = None,
     ):
-        self.jobs = resolve_jobs(jobs)
+        if backend is None:
+            n = resolve_jobs(jobs)
+            backend = SerialBackend() if n == 1 else ProcessPoolBackend(n)
+        self.backend = backend
+        self.jobs = backend.workers
         self.cache = cache
         self.metrics = metrics
         #: Wall seconds each config of the most recent :meth:`run` took
@@ -121,8 +103,16 @@ class Sweep:
         self.last_config_walls: list[float] = []
 
     def run(self, configs: Sequence[ExperimentConfig]) -> list[ExperimentResult]:
-        """Execute every config; results come back in input order."""
+        """Execute every config; results come back in input order.
+
+        With a sharded backend this executes the shard's subset, writes
+        the shard manifest, and raises
+        :class:`~repro.harness.shard.ShardRunComplete` — see the module
+        docstring.
+        """
         configs = list(configs)
+        if self.backend.is_sharded:
+            self._run_shard(configs)  # raises ShardRunComplete
         results: list[ExperimentResult | None] = [None] * len(configs)
         walls = [0.0] * len(configs)
         cache = self.cache
@@ -140,25 +130,13 @@ class Sweep:
             pending.append((i, cfg, cache_key(cfg)))
 
         if pending:
-            if self.jobs == 1:
-                for i, cfg, _key in pending:
-                    t_cfg = time.time()
-                    runner = Runner(cfg)
-                    records = []
-                    for run in range(cfg.runs):
-                        t_run = time.time()
-                        record = runner.run_one(run)
-                        records.append(replace(
-                            record,
-                            worker_id="main",
-                            wall_seconds=time.time() - t_run,
-                        ))
-                    results[i] = ExperimentResult(
-                        config=cfg, records=tuple(records)
-                    )
-                    walls[i] = time.time() - t_cfg
-            else:
-                self._run_pool(pending, results, walls)
+            outcomes = self.backend.execute(
+                [(cfg, key) for _i, cfg, key in pending], self.metrics
+            )
+            for (i, _cfg, _key), outcome in zip(pending, outcomes):
+                result, wall = outcome
+                results[i] = result
+                walls[i] = wall
             if cache is not None:
                 for i, _cfg, _key in pending:
                     cache.put(results[i])
@@ -170,56 +148,89 @@ class Sweep:
             )
         return results  # type: ignore[return-value]
 
-    def _run_pool(
-        self,
-        pending: list[tuple[int, ExperimentConfig, str]],
-        results: list[ExperimentResult | None],
-        walls: list[float],
-    ) -> None:
-        # interleave round-robin by run index so every config makes progress
-        # from the start instead of queueing whole configs FIFO
-        tasks = sorted(
-            (
-                (run, i, cfg, key)
-                for i, cfg, key in pending
-                for run in range(cfg.runs)
-            ),
-        )
-        max_workers = min(self.jobs, len(tasks))
-        m = self.metrics
-        t_pool = time.time()
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            submits: dict[tuple[int, int], float] = {}
-            futures = {}
-            for run, i, cfg, key in tasks:
-                submits[(i, run)] = time.time()
-                futures[(i, run)] = pool.submit(_execute_run, key, cfg, run)
-            for i, cfg, _key in pending:
-                records = []
-                for run in range(cfg.runs):
-                    record, t_started = futures[(i, run)].result()
-                    records.append(record)
-                    if m is not None:
-                        m.histogram("queue_wait_seconds").observe(
-                            max(0.0, t_started - submits[(i, run)])
-                        )
-                results[i] = ExperimentResult(config=cfg, records=tuple(records))
-                # pooled configs report the CPU time their runs consumed
-                # (run walls overlap across workers, so elapsed is not it)
-                walls[i] = sum(r.wall_seconds or 0.0 for r in records)
-        if m is not None:
-            elapsed = time.time() - t_pool
-            busy = sum(walls[i] for i, _cfg, _key in pending)
-            m.gauge("pool_elapsed_seconds").set(elapsed)
-            m.gauge("pool_utilization").set(
-                min(1.0, busy / (elapsed * max_workers)) if elapsed > 0 else 0.0
+    def _run_shard(self, configs: list[ExperimentConfig]) -> None:
+        """Execute this worker's shard of *configs*, then stop.
+
+        Looks up the cache for assigned configs only, simulates the
+        misses through the backend, writes everything back, records the
+        manifest covering the *whole* assigned set (hits included — the
+        manifest describes coverage, not work), and raises
+        :class:`ShardRunComplete` with the summary.
+
+        Everything that decides membership here is a pure function of the
+        configs' cache keys (no wall clock, no pids — DET004), so every
+        worker of the partition computes the identical split.
+        """
+        backend = self.backend
+        assert isinstance(backend, ShardedBackend)
+        cache = self.cache
+        if cache is None:
+            raise HarnessError(
+                "sharded execution requires a shared cache (--cache-dir): "
+                "the cache directory is how shard workers publish results "
+                "for gather"
             )
-            used = {
-                rec.worker_id
-                for i, _cfg, _key in pending
-                for rec in results[i].records
-            }
-            m.gauge("pool_workers_used").set(len(used))
+        cache_before = (cache.hits, cache.misses, cache.stores)
+
+        assigned: list[tuple[int, ExperimentConfig, str]] = []
+        for i, cfg in enumerate(configs):
+            key = cache_key(cfg)
+            if backend.assigns(key):
+                assigned.append((i, cfg, key))
+
+        pending: list[tuple[int, ExperimentConfig, str]] = []
+        for i, cfg, key in assigned:
+            if cache.get(cfg) is None:
+                pending.append((i, cfg, key))
+
+        m = self.metrics
+        if pending:
+            outcomes = backend.execute(
+                [(cfg, key) for _i, cfg, key in pending], m
+            )
+            for (_i, _cfg, _key), outcome in zip(pending, outcomes):
+                result, wall = outcome
+                cache.put(result)
+                if m is not None:
+                    m.histogram("config_wall_seconds").observe(wall)
+                    for rec in result.records:
+                        if rec.wall_seconds is not None:
+                            m.histogram("run_wall_seconds").observe(
+                                rec.wall_seconds
+                            )
+
+        if m is not None:
+            label = backend.label
+            m.gauge("pool_workers").set(backend.workers)
+            m.counter("configs_total").inc(len(configs))
+            m.counter("configs_simulated").inc(len(pending))
+            m.counter("configs_cached").inc(len(assigned) - len(pending))
+            m.counter("shard_configs_assigned", shard=label).inc(len(assigned))
+            m.counter("shard_configs_simulated", shard=label).inc(len(pending))
+            m.counter("shard_configs_cached", shard=label).inc(
+                len(assigned) - len(pending)
+            )
+            h0, mi0, s0 = cache_before
+            m.counter("cache_hits").inc(cache.hits - h0)
+            m.counter("cache_misses").inc(cache.misses - mi0)
+            m.counter("cache_stores").inc(cache.stores - s0)
+
+        manifest = write_shard_manifest(
+            cache,
+            backend.shard_index,
+            backend.shard_count,
+            [cfg for _i, cfg, _key in assigned],
+            telemetry=m.to_dict() if m is not None else None,
+        )
+        raise ShardRunComplete(ShardSummary(
+            shard_index=backend.shard_index,
+            shard_count=backend.shard_count,
+            configs_total=len(configs),
+            assigned=len(assigned),
+            simulated=len(pending),
+            cached=len(assigned) - len(pending),
+            manifest_path=manifest,
+        ))
 
     def _record_metrics(
         self,
@@ -260,9 +271,10 @@ class ParallelRunner:
         jobs: int | None = 1,
         cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
+        backend: ExecutionBackend | None = None,
     ):
         self.config = config
-        self._sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics)
+        self._sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics, backend=backend)
 
     @property
     def jobs(self) -> int:

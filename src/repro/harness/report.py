@@ -15,6 +15,7 @@ from repro.errors import HarnessError
 from repro.units import to_us
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.shard import ShardSummary
     from repro.harness.study import StudyResult
     from repro.obs.metrics import MetricsRegistry
 
@@ -293,6 +294,36 @@ def render_tasking_summary(
         ["run", "steals/rep", "failed/rep", "fail rate", "idle frac"],
         rows,
         title=f"{label}: work-stealing scheduler metrics",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Distributed execution (shard / gather)
+# ---------------------------------------------------------------------------
+
+
+def render_shard_summary(summary: "ShardSummary") -> str:
+    """One shard worker's closing report (``--shard i/N`` runs)."""
+    lines = [
+        f"shard {summary.label}: {summary.assigned} of "
+        f"{summary.configs_total} config(s) assigned to this shard",
+        f"  simulated: {summary.simulated}; served from cache: "
+        f"{summary.cached}",
+        f"  manifest:  {summary.manifest_path}",
+        f"next: run the remaining shards against the same cache dir, then "
+        f"`repro-omp gather` to assemble them",
+    ]
+    return "\n".join(lines)
+
+
+def render_gather_summary(
+    n_shards: int, n_entries: int, total_bytes: float, n_configs: int
+) -> str:
+    """The gather step's integrity summary (all digests verified)."""
+    return (
+        f"gather: {n_shards} shard manifest(s), {n_entries} cache "
+        f"entry(ies) ({total_bytes:,.0f} bytes) verified by SHA-256; "
+        f"assembled {n_configs} config(s)"
     )
 
 

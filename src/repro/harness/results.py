@@ -149,6 +149,13 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ExperimentResult":
+        """Rebuild from a :meth:`to_dict` payload.
+
+        Only ``config`` and ``records`` are read; unknown top-level keys
+        are ignored so enriched payloads — e.g. the ``cache_meta``
+        provenance block :meth:`repro.harness.cache.ResultCache.put`
+        embeds — round-trip through here without affecting the result.
+        """
         config = ExperimentConfig.from_dict(data["config"])
         records = []
         for entry in data["records"]:

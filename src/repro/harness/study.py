@@ -50,6 +50,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import HarnessError
+from repro.harness.backend import ExecutionBackend
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.parallel import Sweep
@@ -266,10 +267,18 @@ class Study:
         jobs: int | None = 1,
         cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
+        backend: "ExecutionBackend | None" = None,
     ) -> "StudyResult":
         """Execute every selected config through one shared
         :class:`~repro.harness.parallel.Sweep`; bit-identical for any
-        ``jobs`` and replayable from *cache*.
+        ``jobs`` (or *backend*) and replayable from *cache*.
+
+        *backend* selects the execution mechanism explicitly (see
+        :mod:`repro.harness.backend`); without one, *jobs* picks serial
+        or process-pool execution.  A sharded backend executes only this
+        worker's shard and raises
+        :class:`~repro.harness.shard.ShardRunComplete` after writing its
+        manifest — assemble the shards with :meth:`gather`.
 
         With *metrics*, the sweep's harness telemetry is recorded (see
         :class:`~repro.harness.parallel.Sweep`) and additionally broken
@@ -283,7 +292,7 @@ class Study:
                 f"study {self.name!r} selects no configurations "
                 f"(empty axes or an unsatisfiable where() filter)"
             )
-        sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics)
+        sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics, backend=backend)
         results = sweep.run(configs)
         if metrics is not None:
             for name in self.axis_names():
@@ -294,6 +303,26 @@ class Study:
                         value=config_value(cfg, name),
                     ).observe(wall)
         return StudyResult(study=self, configs=configs, results=tuple(results))
+
+    def gather(
+        self,
+        cache: ResultCache,
+        expected_shards: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "StudyResult":
+        """Assemble a sharded run of this study from *cache*.
+
+        Validates the shard manifests (complete partition, consistent
+        shard count, per-entry SHA-256 integrity), then replays every
+        config's cached entry — never simulating — into a
+        :class:`StudyResult` byte-identical to ``run(jobs=1, cache=...)``
+        on one host.  See :func:`repro.harness.shard.gather_study`.
+        """
+        from repro.harness.shard import gather_study
+
+        return gather_study(
+            self, cache, expected_shards=expected_shards, metrics=metrics
+        )
 
 
 class StudyResult:

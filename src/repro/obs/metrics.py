@@ -152,17 +152,35 @@ class MetricsRegistry:
     @classmethod
     def from_dict(cls, data: Mapping) -> "MetricsRegistry":
         reg = cls()
-        for entry in data.get("counters", ()):
-            reg.counter(entry["name"], **entry.get("labels", {})).inc(entry["value"])
-        for entry in data.get("gauges", ()):
-            reg.gauge(entry["name"], **entry.get("labels", {})).set(entry["value"])
-        for entry in data.get("histograms", ()):
-            h = reg.histogram(entry["name"], **entry.get("labels", {}))
-            count = entry.get("count", 0)
-            if count:
-                # reconstruct the O(1) summary state (not the raw stream)
-                h.count = count
-                h.total = entry.get("total", 0.0)
-                h.minimum = entry.get("min", math.inf)
-                h.maximum = entry.get("max", -math.inf)
+        reg.merge_dict(data)
         return reg
+
+    def merge_dict(self, data: Mapping) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms combine their O(1) summaries.  This is how ``gather``
+        accumulates the telemetry each shard recorded into one registry.
+        """
+        for entry in data.get("counters", ()):
+            self.counter(entry["name"], **entry.get("labels", {})).inc(entry["value"])
+        for entry in data.get("gauges", ()):
+            self.gauge(entry["name"], **entry.get("labels", {})).set(entry["value"])
+        for entry in data.get("histograms", ()):
+            h = self.histogram(entry["name"], **entry.get("labels", {}))
+            count = entry.get("count", 0)
+            if not count:
+                continue  # instrument exists; nothing to combine
+            # combine the O(1) summary state (not the raw stream)
+            h.count += count
+            h.total += entry.get("total", 0.0)
+            incoming_min = entry.get("min", math.inf)
+            incoming_max = entry.get("max", -math.inf)
+            if incoming_min is not None and incoming_min < h.minimum:
+                h.minimum = incoming_min
+            if incoming_max is not None and incoming_max > h.maximum:
+                h.maximum = incoming_max
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (see :meth:`merge_dict`)."""
+        self.merge_dict(other.to_dict())

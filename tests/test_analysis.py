@@ -355,6 +355,112 @@ class TestDET003:
 
 
 # ---------------------------------------------------------------------------
+# DET004 — shard/manifest identity purity
+# ---------------------------------------------------------------------------
+
+
+class TestDET004:
+    def test_pid_in_shard_scope_flagged(self):
+        out = findings(
+            """
+            import os
+
+            def shard_index_of(key, n):
+                return (int(key[:16], 16) + os.getpid()) % n
+            """,
+            "DET004",
+            module_parts=HARNESS,
+        )
+        assert len(out) == 1
+        assert "os.getpid" in out[0].message
+        assert "pure functions of config content" in out[0].message
+
+    def test_wall_clock_in_manifest_scope_flagged(self):
+        out = findings(
+            """
+            import time
+
+            def write_shard_manifest(cache, entries):
+                return {"written_at": time.time(), "entries": entries}
+            """,
+            "DET004",
+            module_parts=HARNESS,
+        )
+        assert len(out) == 1
+        assert "time.time" in out[0].message
+
+    def test_hostname_in_sharded_class_flagged(self):
+        out = findings(
+            """
+            import socket
+
+            class ShardedBackend:
+                def execute(self, pending):
+                    return socket.gethostname()
+            """,
+            "DET004",
+            module_parts=HARNESS,
+        )
+        assert len(out) == 1
+        assert "socket.gethostname" in out[0].message
+
+    def test_random_in_shard_scope_flagged(self):
+        out = findings(
+            """
+            import random
+
+            def pick_shard(keys, n):
+                return random.choice(range(n))
+            """,
+            "DET004",
+            module_parts=HARNESS,
+        )
+        assert len(out) == 1
+        assert "different" in out[0].message
+        assert "partitions" in out[0].message
+
+    def test_pure_shard_assignment_passes(self):
+        out = findings(
+            """
+            def shard_index_of(key, shard_count):
+                return int(key[:16], 16) % shard_count
+            """,
+            "DET004",
+            module_parts=HARNESS,
+        )
+        assert out == []
+
+    def test_pid_outside_shard_scopes_passes(self):
+        """Helpers outside shard/manifest scopes may use pids (tmp-file
+        suffixes in _atomic_write_json are the sanctioned pattern)."""
+        out = findings(
+            """
+            import os
+
+            def _atomic_write_json(path, payload):
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                return tmp
+            """,
+            "DET004",
+            module_parts=HARNESS,
+        )
+        assert out == []
+
+    def test_only_applies_to_harness_package(self):
+        out = findings(
+            """
+            import os
+
+            def shard_helper():
+                return os.getpid()
+            """,
+            "DET004",
+            module_parts=("repro", "obs", "fake"),
+        )
+        assert out == []
+
+
+# ---------------------------------------------------------------------------
 # PERF001 — __slots__ discipline
 # ---------------------------------------------------------------------------
 
@@ -554,7 +660,8 @@ class TestAPI001:
 class TestRegistry:
     def test_all_rule_families_registered(self):
         assert {
-            "DET001", "DET002", "DET003", "PERF001", "PERF002", "API001",
+            "DET001", "DET002", "DET003", "DET004", "PERF001", "PERF002",
+            "API001",
         } <= set(available_rules())
 
     def test_unknown_rule_raises(self):
@@ -730,7 +837,8 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "DET001", "DET002", "DET003", "PERF001", "PERF002", "API001",
+            "DET001", "DET002", "DET003", "DET004", "PERF001", "PERF002",
+            "API001",
         ):
             assert rule_id in out
 
