@@ -1,6 +1,6 @@
 """Determinism rules: DET001 (ambient nondeterminism), DET002 (set-order
 iteration), DET003 (cache-key purity), DET004 (shard/manifest identity
-purity).
+purity), DET005 (job-service identity purity).
 
 These are the static mirrors of the determinism contracts the repo
 enforces dynamically: byte-locked goldens, serial == jobs=N == cached
@@ -489,3 +489,124 @@ class ShardIdentityPurity(Rule):
                 f"shard/manifest code; shard assignment and manifest "
                 f"identity must be pure functions of config content",
             )
+
+
+# ---------------------------------------------------------------------------
+# DET005 — job-service identity purity
+# ---------------------------------------------------------------------------
+
+#: Wall-clock reads: banned everywhere in the service package.  The
+#: monotonic family is listed separately because it has a sanctioned
+#: home (clock/telemetry helpers); wall time has none.
+_WALL_CLOCK_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+}
+
+#: Monotonic clock reads: legitimate for rate limiting and telemetry
+#: durations, so they are allowed — but only inside scopes that are
+#: explicitly named as clock carriers.
+_MONOTONIC_CALLS = (
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+)
+
+#: Entropy draws: banned everywhere in the service package.
+_SERVICE_ENTROPY_CALLS = {
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "a host/time-derived identifier",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Scope-name fragments under which a monotonic read is sanctioned.
+#: ``monotonic_clock`` (the service's one clock) and telemetry helpers
+#: match; nothing minting identity ever should.
+_CLOCK_SCOPE_FRAGMENTS = ("clock", "telemetry")
+
+#: Scope-name fragments that mark identity-minting service code (job
+#: ids, spec fingerprints, dedup keys).  Inside these, even the
+#: monotonic exemption is off: identity is content, full stop.
+_SERVICE_IDENTITY_FRAGMENTS = ("job_id", "fingerprint", "spec_hash", "dedup")
+
+
+@register_rule
+class ServiceIdentityPurity(Rule):
+    """DET005: job-service identities must be pure functions of content."""
+
+    id = "DET005"
+    title = "no ambient wall-clock or entropy in job-service code"
+    rationale = (
+        "The job service promises deterministic identities: the same "
+        "submitted spec always yields the same fingerprint, dedup key "
+        "and (per submission ordinal) job id, which is what makes "
+        "duplicate detection and crash-recovery replay sound.  A "
+        "wall-clock read, uuid4() or entropy draw anywhere near id or "
+        "fingerprint construction silently breaks dedup — two identical "
+        "submissions stop matching — so clocks live only in explicitly "
+        "named clock/telemetry helpers, and identity scopes allow none "
+        "at all."
+    )
+    fix_hint = (
+        "derive job ids and fingerprints from spec content (cache keys, "
+        "submission ordinals); read time only through monotonic_clock() "
+        "or a *telemetry* helper, never wall time"
+    )
+    packages = ("serve",)
+    node_types = (ast.Call,)
+
+    def visit(
+        self, node: ast.Call, ctx: FileContext, state: WalkState,
+        report: Reporter,
+    ) -> None:
+        dotted = ctx.resolve(node.func)
+        if dotted is None:
+            return
+        scopes = [name.lower() for name in state.scope_stack]
+        head = dotted.split(".", 1)[0]
+        if head in _BANNED_PREFIXES:
+            report(
+                node,
+                f"{dotted}() draws from {_BANNED_PREFIXES[head]} in "
+                f"job-service code; service identities must be pure "
+                f"functions of the submitted content",
+            )
+            return
+        if dotted in _SERVICE_ENTROPY_CALLS:
+            report(
+                node,
+                f"{dotted}() reads {_SERVICE_ENTROPY_CALLS[dotted]} in "
+                f"job-service code; identical specs would stop deduping",
+            )
+            return
+        if dotted in _WALL_CLOCK_CALLS:
+            report(
+                node,
+                f"{dotted}() reads wall-clock time in job-service code; "
+                f"durations come from monotonic_clock(), identities from "
+                f"content only",
+            )
+            return
+        if dotted in _MONOTONIC_CALLS:
+            in_identity = any(
+                fragment in scope
+                for scope in scopes
+                for fragment in _SERVICE_IDENTITY_FRAGMENTS
+            )
+            in_clock = any(
+                fragment in scope
+                for scope in scopes
+                for fragment in _CLOCK_SCOPE_FRAGMENTS
+            )
+            if in_identity or not in_clock:
+                report(
+                    node,
+                    f"{dotted}() outside a clock/telemetry helper; the "
+                    f"service reads time only through monotonic_clock() "
+                    f"(and never while minting job ids or fingerprints)",
+                )

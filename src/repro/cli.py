@@ -64,6 +64,16 @@ docs/static-analysis.md); intentional exceptions live in the committed
     repro-omp lint src --rule DET001 --format json
     repro-omp lint --list-rules
 
+Run sweeps as a service: one long-lived process executes JSON job specs
+over a shared cache and pool, with dedup, SSE progress streams and a
+per-client rate limit (see docs/service.md)::
+
+    repro-omp serve --port 8765 --workers 2 --jobs 0 &
+    repro-omp sweep --grid num_threads=4,8 --dry-run   # preview, no work
+    repro-omp submit spec.json --wait
+    repro-omp status j0001-abcdef012345
+    repro-omp fetch j0001-abcdef012345 --out records.json
+
 Show a platform description::
 
     repro-omp platform dardel
@@ -231,8 +241,13 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _reps_key(benchmark: str) -> str:
-    """The repetition knob of *benchmark* (``--reps`` maps onto it)."""
-    return "num_times" if benchmark == "babelstream" else "outer_reps"
+    """The repetition knob of *benchmark* (``--reps`` maps onto it).
+
+    Canonical definition lives in :func:`repro.serve.jobspec.reps_key` so
+    the job service maps ``reps`` identically to this CLI."""
+    from repro.serve.jobspec import reps_key
+
+    return reps_key(benchmark)
 
 
 def _config_from_args(
@@ -324,6 +339,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="export tidy records here (.json exports JSON, anything "
              "else CSV)",
+    )
+    p_sweep.add_argument(
+        "--dry-run", dest="dry_run", action="store_true",
+        help="print the expanded config list (with cache keys and "
+             "warm/cold status) as JSON and exit without simulating",
     )
     _add_execution_flags(p_sweep)
     _add_obs_flags(p_sweep)
@@ -457,6 +477,90 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job service (async sweeps over one shared "
+             "pool and cache; see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="jobs progressing concurrently (governor worker threads)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process parallelism of the one shared execution pool "
+             "(0 = all cores; default 1 = in-process)",
+    )
+    p_serve.add_argument(
+        "--state-dir", default=".repro-serve", metavar="DIR",
+        help="job state, rendered records and (by default) the shared "
+             "result cache live here (default: .repro-serve)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="share an existing result cache instead of STATE_DIR/cache",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job spec JSON to a running service",
+    )
+    p_submit.add_argument(
+        "spec", metavar="FILE",
+        help="job spec JSON file, or '-' to read the spec from stdin",
+    )
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default: http://127.0.0.1:8765)",
+    )
+    p_submit.add_argument(
+        "--client-id", dest="client_id", default=None,
+        help="stable client name for the per-client rate limit",
+    )
+    p_submit.add_argument(
+        "--dry-run", dest="dry_run", action="store_true",
+        help="expand the spec on the service (cache keys + warm/cold "
+             "status) without creating a job",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="--wait deadline (default 300)",
+    )
+
+    p_status = sub.add_parser(
+        "status",
+        help="show one job (or every job) on a running service",
+    )
+    p_status.add_argument("job_id", nargs="?", default=None, metavar="JOB_ID")
+    p_status.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default: http://127.0.0.1:8765)",
+    )
+
+    p_fetch = sub.add_parser(
+        "fetch",
+        help="download a finished job's tidy records",
+    )
+    p_fetch.add_argument("job_id", metavar="JOB_ID")
+    p_fetch.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default: http://127.0.0.1:8765)",
+    )
+    p_fetch.add_argument(
+        "--format", dest="fmt", choices=["json", "csv"], default="json",
+        help="records format (default json)",
+    )
+    p_fetch.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the records here byte-identically (default: stdout)",
+    )
     return parser
 
 
@@ -575,14 +679,11 @@ def _build_sweep_study(args: argparse.Namespace) -> Study:
     if args.reps is not None:
         # applied per expanded config: the knob's name follows each
         # config's benchmark (which may be a swept axis), and an explicit
-        # axis/--param value for the knob wins over --reps
-        reps = args.reps
-        study = study.derive(
-            benchmark_params=lambda cfg: {
-                _reps_key(cfg.benchmark): reps,
-                **cfg.benchmark_params,
-            }
-        )
+        # axis/--param value for the knob wins over --reps.  Shared with
+        # the job service so HTTP-submitted sweeps expand identically.
+        from repro.serve.jobspec import reps_derive
+
+        study = study.derive(benchmark_params=reps_derive(args.reps))
     return study
 
 
@@ -617,9 +718,17 @@ def _render_sweep_report(args: argparse.Namespace, result) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs.metrics import MetricsRegistry
 
     study = _build_sweep_study(args)
+    if args.dry_run:
+        # same payload POST /jobs?dry_run=1 returns: the expanded config
+        # list with cache keys and warm/cold status, nothing simulated
+        rows = study.preview(_make_cache(args))
+        print(json.dumps({"total": len(rows), "configs": rows}, indent=2))
+        return 0
     metrics = MetricsRegistry()
     result = study.run(
         jobs=args.jobs, cache=_make_cache(args), metrics=metrics,
@@ -810,6 +919,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import JobService, create_http_server
+
+    service = JobService(
+        args.state_dir,
+        workers=args.workers,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    service.start()
+    server = create_http_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    # flushed immediately: supervisors (and the CI smoke job) read the
+    # bound address from this line before the first request
+    print(f"repro-omp job service on http://{host}:{port}", flush=True)
+    print(
+        f"state: {service.state_dir}  cache: {service.cache.cache_dir}  "
+        f"workers: {service.workers}  pool jobs: {service.pool_jobs}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _read_spec_file(path: str) -> dict:
+    import json
+
+    raw = sys.stdin.read() if path == "-" else Path(path).read_text()
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"spec file {path!r} is not valid JSON: {exc}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServiceClient
+
+    client = ServiceClient(args.url, client_id=args.client_id)
+    payload = client.submit(_read_spec_file(args.spec), dry_run=args.dry_run)
+    if not args.dry_run and args.wait:
+        payload = client.wait(payload["job_id"], timeout=args.timeout)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not args.dry_run and args.wait and payload["state"] != "done":
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    payload = (
+        client.job(args.job_id)
+        if args.job_id is not None
+        else {"jobs": client.jobs()}
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClient
+
+    text = ServiceClient(args.url).records(args.job_id, args.fmt)
+    if args.out:
+        # write_bytes keeps CSV \r\n terminators intact: CI cmp-s this
+        # file against a local `repro-omp sweep --out` export
+        Path(args.out).write_bytes(text.encode("utf-8"))
+        print(f"wrote records to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -831,6 +1024,14 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "fetch":
+            return _cmd_fetch(args)
     except ShardRunComplete as exc:
         # not a failure: a --shard i/N worker finished its slice and
         # recorded its manifest; the gather step assembles the shards

@@ -64,3 +64,12 @@ class HarnessError(ReproError):
 class AnalysisError(ReproError):
     """The static-analysis framework was misused (unknown rule, bad
     baseline file) — distinct from the findings it reports."""
+
+
+class ServiceError(ReproError):
+    """The job service failed (unknown job, bad state transition, ...)."""
+
+
+class JobSpecError(ServiceError):
+    """A job spec failed validation; the message names the offending
+    field (e.g. ``axes[1].kind``)."""

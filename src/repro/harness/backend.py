@@ -33,6 +33,7 @@ duplicate work.  The DET004 lint rule enforces this statically.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -206,16 +207,48 @@ class ProcessPoolBackend(ExecutionBackend):
     progress from the start instead of whole configs queueing FIFO; the
     parent reassembles records in run order, so results are bit-identical
     to serial execution.
+
+    With ``persistent=True`` the executor is created lazily on first use
+    and reused across :meth:`execute` calls until :meth:`close` — the job
+    service multiplexes every job over one such backend, so concurrent
+    jobs share a single pool instead of each paying pool startup and
+    oversubscribing the host.  ``submit`` on a ``ProcessPoolExecutor`` is
+    thread-safe, so concurrent ``execute`` calls interleave safely; only
+    the lazy construction needs the lock.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None, persistent: bool = False):
         self.jobs = resolve_jobs(jobs)
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
         return self.jobs
+
+    def _acquire_pool(self, task_count: int) -> tuple[ProcessPoolExecutor, bool]:
+        """Executor for one batch plus whether the caller owns (must close) it."""
+        if not self.persistent:
+            return (
+                ProcessPoolExecutor(max_workers=min(self.jobs, task_count)),
+                True,
+            )
+        with self._pool_lock:
+            if self._pool is None:
+                # shared across batches, so size by the configured job
+                # count rather than any one batch's task count
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool, False
+
+    def close(self) -> None:
+        """Shut down the persistent executor (no-op for per-batch pools)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def execute(
         self,
@@ -235,7 +268,8 @@ class ProcessPoolBackend(ExecutionBackend):
         m = metrics
         out: list[tuple[ExperimentResult, float] | None] = [None] * len(pending)
         t_pool = time.time()
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool, owned = self._acquire_pool(len(tasks))
+        try:
             submits: dict[tuple[int, int], float] = {}
             futures = {}
             for run, i, cfg, key in tasks:
@@ -254,6 +288,9 @@ class ProcessPoolBackend(ExecutionBackend):
                 # pooled configs report the CPU time their runs consumed
                 # (run walls overlap across workers, so elapsed is not it)
                 out[i] = (result, sum(r.wall_seconds or 0.0 for r in records))
+        finally:
+            if owned:
+                pool.shutdown(wait=True)
         if m is not None:
             elapsed = time.time() - t_pool
             busy = sum(outcome[1] for outcome in out if outcome is not None)

@@ -26,7 +26,7 @@ producing code/schema version (ignored by
 and :meth:`ResultCache.gc`), written atomically (temp file +
 ``os.replace``) so a crashed writer never leaves a truncated entry behind.
 Corrupt or unreadable entries are treated as misses and deleted; stale
-``<key>.json.tmp.<pid>`` files from crashed writers are swept on init and
+``<key>.json.tmp.<pid>.<tid>`` files from crashed writers are swept on init and
 on :meth:`ResultCache.clear`.  Because keys embed the code version, a
 version bump silently *orphans* every older entry rather than deleting
 it; :meth:`ResultCache.gc` prunes those dead keys (any entry whose
@@ -42,7 +42,11 @@ manifests never count toward :meth:`ResultCache.__len__`, ``stats`` or
 The cache keeps ``hits`` / ``misses`` / ``stores`` counters so callers (and
 tests) can assert that a warmed cache performs zero new simulation runs;
 :meth:`ResultCache.clear` resets them along with the entries, so counts
-always describe the cache contents since the last clear.
+always describe the cache contents since the last clear.  Counter updates
+are guarded by a lock: the job service (:mod:`repro.serve`) shares one
+cache object across request-handler and job-runner threads, and an
+unguarded ``+= 1`` is a read-modify-write that loses increments under
+that interleaving.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ import hashlib
 import json
 import os
 import re
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -157,10 +162,18 @@ class ResultCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise HarnessError(f"cannot create cache dir {cache_dir}: {exc}") from exc
+        # counter updates happen from many threads when the cache backs the
+        # job service; the lock keeps the read-modify-write increments exact
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.sweep_stale_tmp()
+
+    def _count(self, counter: str) -> None:
+        """Increment one traffic counter under the stats lock."""
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     # -- tmp hygiene ---------------------------------------------------------
 
@@ -170,7 +183,7 @@ class ResultCache:
     def sweep_stale_tmp(self) -> int:
         """Remove tmp entries left behind by crashed writers.
 
-        :meth:`put` writes ``<key>.json.tmp.<pid>`` and renames it into
+        :meth:`put` writes ``<key>.json.tmp.<pid>.<tid>`` and renames it into
         place; a writer that dies in between leaks the tmp file forever
         (entry globs only see ``*.json``).  A tmp file is stale when its
         owning process is gone (or its name carries no parseable pid);
@@ -182,7 +195,9 @@ class ResultCache:
         """
         removed = 0
         for tmp in self._tmp_files():
-            pid_text = tmp.name.rsplit(".", 1)[-1]
+            # suffix is "<pid>" (older writers) or "<pid>.<tid>"; the pid
+            # always leads, and liveness is a process-level question
+            pid_text = tmp.name.split(".tmp.", 1)[-1].split(".", 1)[0]
             try:
                 pid = int(pid_text)
             except ValueError:
@@ -212,15 +227,15 @@ class ResultCache:
 
         path = self.path_for(config)
         if not path.exists():
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             result = ExperimentResult.load(path)
         except Exception:
             path.unlink(missing_ok=True)
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return result
 
     def put(self, result: "ExperimentResult") -> Path:
@@ -238,7 +253,12 @@ class ResultCache:
                 "cache_schema": CACHE_SCHEMA_VERSION,
             },
         }
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        # pid alone is not unique enough: the job service drives one cache
+        # from several threads, and two overlapping jobs storing the same
+        # key would collide on the tmp name and race each other's rename
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         tmp.write_text(json.dumps(payload))
         try:
             os.replace(tmp, path)
@@ -248,7 +268,7 @@ class ResultCache:
             raise HarnessError(
                 f"cache tmp file {tmp} vanished before commit: {exc}"
             ) from exc
-        self.stores += 1
+        self._count("stores")
         return path
 
     # -- maintenance --------------------------------------------------------------
@@ -277,9 +297,10 @@ class ResultCache:
             if is_entry:
                 removed += 1
         self.sweep_stale_tmp()
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
+        with self._stats_lock:
+            self.hits = 0
+            self.misses = 0
+            self.stores = 0
         return removed
 
     def stats(self) -> dict:
@@ -306,16 +327,18 @@ class ResultCache:
             except ValueError:
                 version = "corrupt"
             by_version[version] = by_version.get(version, 0) + 1
-        lookups = self.hits + self.misses
+        with self._stats_lock:
+            hits, misses, stores = self.hits, self.misses, self.stores
+        lookups = hits + misses
         return {
             "cache_dir": str(self.cache_dir),
             "entries": entries,
             "total_bytes": total_bytes,
             "by_version": dict(sorted(by_version.items())),
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "hit_rate": self.hits / lookups if lookups else None,
+            "hits": hits,
+            "misses": misses,
+            "stores": stores,
+            "hit_rate": hits / lookups if lookups else None,
             "code_version": _code_version,
             "cache_schema": CACHE_SCHEMA_VERSION,
         }

@@ -104,12 +104,34 @@ class ExperimentSpec:
     ``num_times``), extracted from the signature at registration so callers
     like the CLI's ``--reps`` can map one number onto whichever knobs a
     driver has.
+
+    ``study_builder`` is the driver's sweep declaration factored out as a
+    pure function of the scale knobs (no ``jobs``/``cache``/``backend``):
+    it returns the exact :class:`~repro.harness.study.Study` the driver
+    executes.  The job service builds experiment jobs from it, and the
+    schema round-trip tests lock it to the driver's own config list.
     """
 
     name: str
     driver: Callable[..., ExperimentArtifact]
     description: str
     rep_params: tuple[str, ...]
+    study_builder: Callable[..., Study] | None = None
+
+    def build_study(self, **knobs: Any) -> Study:
+        """Call ``study_builder`` with the knobs its signature accepts.
+
+        Unknown knobs are dropped (a caller mapping ``--reps`` onto both
+        rep param names can pass the union), so one call site serves every
+        registered experiment.
+        """
+        if self.study_builder is None:
+            raise HarnessError(
+                f"experiment {self.name!r} does not declare a study builder"
+            )
+        params = inspect.signature(self.study_builder).parameters
+        accepted = {k: v for k, v in knobs.items() if k in params}
+        return self.study_builder(**accepted)
 
 
 #: name -> spec, populated by the :func:`experiment` decorator.
@@ -122,8 +144,18 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentArtifact]] = {}
 _REP_PARAM_NAMES = ("outer_reps", "num_times")
 
 
-def experiment(description: str, name: str | None = None):
-    """Register an experiment driver under *name* (default: function name)."""
+def experiment(
+    description: str,
+    name: str | None = None,
+    study: Callable[..., Study] | None = None,
+):
+    """Register an experiment driver under *name* (default: function name).
+
+    *study* registers the driver's sweep declaration as a standalone
+    builder (see :attr:`ExperimentSpec.study_builder`); every built-in
+    driver provides one, and the driver body calls it so the two can
+    never drift apart.
+    """
 
     def decorate(fn: Callable[..., ExperimentArtifact]):
         exp_name = name if name is not None else fn.__name__
@@ -135,6 +167,7 @@ def experiment(description: str, name: str | None = None):
             driver=fn,
             description=description,
             rep_params=tuple(k for k in _REP_PARAM_NAMES if k in params),
+            study_builder=study,
         )
         EXPERIMENTS[exp_name] = spec
         ALL_EXPERIMENTS[exp_name] = fn
@@ -161,23 +194,19 @@ def available_experiments() -> tuple[str, ...]:
 # Table 2
 # ---------------------------------------------------------------------------
 
-@experiment("Table 2: run-to-run schedbench dynamic_1 times, Dardel/Vera")
-def table2(
-    runs: int = 10,
-    outer_reps: int = 100,
-    seed: int = 42,
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentArtifact:
-    """Table 2: higher execution time (us) for schedbench ``dynamic_1``."""
-    columns = [
-        ("dardel", 4, "cores"),
-        ("dardel", 254, "threads"),
-        ("vera", 4, "cores"),
-        ("vera", 30, "cores"),
-    ]
-    study = Study(
+_TABLE2_COLUMNS = (
+    ("dardel", 4, "cores"),
+    ("dardel", 254, "threads"),
+    ("vera", 4, "cores"),
+    ("vera", 30, "cores"),
+)
+
+
+def table2_study(
+    runs: int = 10, outer_reps: int = 100, seed: int = 42
+) -> Study:
+    """The table2 sweep: schedbench dynamic_1 on four platform@threads."""
+    return Study(
         ExperimentConfig(
             benchmark="schedbench",
             proc_bind="close",
@@ -191,8 +220,25 @@ def table2(
         description="run-to-run schedbench dynamic_1 execution times",
     ).cases(*(
         {"platform": platform, "num_threads": threads, "places": places}
-        for platform, threads, places in columns
+        for platform, threads, places in _TABLE2_COLUMNS
     ))
+
+
+@experiment(
+    "Table 2: run-to-run schedbench dynamic_1 times, Dardel/Vera",
+    study=table2_study,
+)
+def table2(
+    runs: int = 10,
+    outer_reps: int = 100,
+    seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentArtifact:
+    """Table 2: higher execution time (us) for schedbench ``dynamic_1``."""
+    columns = _TABLE2_COLUMNS
+    study = table2_study(runs=runs, outer_reps=outer_reps, seed=seed)
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by("platform", "num_threads")
 
     per_column_means: dict[str, np.ndarray] = {}
@@ -230,20 +276,16 @@ def _thread_places(platform: str, threads: int) -> str:
     return "cores"
 
 
-@experiment("Figure 1: syncbench (reduction) time vs thread count")
-def figure1(
+def figure1_study(
     runs: int = 10,
     outer_reps: int = 100,
     seed: int = 42,
     dardel_threads: Sequence[int] = _DARDEL_THREADS,
     vera_threads: Sequence[int] = _VERA_THREADS,
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentArtifact:
-    """Figure 1: syncbench (reduction) time vs HW thread count."""
+) -> Study:
+    """The figure1 sweep: syncbench reduction across both thread ladders."""
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    study = (
+    return (
         Study(
             ExperimentConfig(
                 benchmark="syncbench",
@@ -264,6 +306,31 @@ def figure1(
             for threads in sweep
         ))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+
+
+@experiment(
+    "Figure 1: syncbench (reduction) time vs thread count",
+    study=figure1_study,
+)
+def figure1(
+    runs: int = 10,
+    outer_reps: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = _DARDEL_THREADS,
+    vera_threads: Sequence[int] = _VERA_THREADS,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentArtifact:
+    """Figure 1: syncbench (reduction) time vs HW thread count."""
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    study = figure1_study(
+        runs=runs,
+        outer_reps=outer_reps,
+        seed=seed,
+        dardel_threads=dardel_threads,
+        vera_threads=vera_threads,
     )
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by("platform", "num_threads")
 
@@ -298,20 +365,16 @@ def figure1(
 # Figure 2 — BabelStream scalability
 # ---------------------------------------------------------------------------
 
-@experiment("Figure 2: BabelStream kernel times vs thread count")
-def figure2(
+def figure2_study(
     runs: int = 3,
     num_times: int = 100,
     seed: int = 42,
     dardel_threads: Sequence[int] = (2, 4, 8, 16, 32, 64, 128, 254),
     vera_threads: Sequence[int] = _VERA_THREADS,
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentArtifact:
-    """Figure 2: BabelStream kernel time (ms) vs HW thread count."""
+) -> Study:
+    """The figure2 sweep: BabelStream across both thread ladders."""
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    study = (
+    return (
         Study(
             ExperimentConfig(
                 benchmark="babelstream",
@@ -329,6 +392,31 @@ def figure2(
             for threads in sweep
         ))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+
+
+@experiment(
+    "Figure 2: BabelStream kernel times vs thread count",
+    study=figure2_study,
+)
+def figure2(
+    runs: int = 3,
+    num_times: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (2, 4, 8, 16, 32, 64, 128, 254),
+    vera_threads: Sequence[int] = _VERA_THREADS,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentArtifact:
+    """Figure 2: BabelStream kernel time (ms) vs HW thread count."""
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    study = figure2_study(
+        runs=runs,
+        num_times=num_times,
+        seed=seed,
+        dardel_threads=dardel_threads,
+        vera_threads=vera_threads,
     )
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by("platform", "num_threads")
 
@@ -359,31 +447,10 @@ def figure2(
 # Figure 3 — scalability of variability
 # ---------------------------------------------------------------------------
 
-@experiment("Figure 3: normalized min/max variability vs thread count")
-def figure3(
-    runs: int = 10,
-    outer_reps: int = 100,
-    num_times: int = 100,
-    seed: int = 42,
-    dardel_threads: Sequence[int] = (4, 16, 64, 128, 254),
-    vera_threads: Sequence[int] = (2, 8, 16, 30),
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentArtifact:
-    """Figure 3: normalized min/max per run vs thread count, 6 panels."""
-    panels: list[tuple[str, str]] = []
-    data: dict[str, Any] = {}
-
-    def norm_rows(matrix: np.ndarray) -> tuple[list[float], list[float]]:
-        mins, maxs = [], []
-        for row in matrix:
-            s = summarize(row)
-            mins.append(s.norm_min)
-            maxs.append(s.norm_max)
-        return mins, maxs
-
-    benches = (
+def _figure3_benches(outer_reps: int, num_times: int) -> tuple:
+    """(benchmark, reported label, params) triples shared by the figure3
+    study builder and the panel rendering."""
+    return (
         ("schedbench", "dynamic_1", {"outer_reps": outer_reps}),
         (
             "syncbench",
@@ -393,8 +460,20 @@ def figure3(
         ),
         ("babelstream", StreamKernel.TRIAD.value, {"num_times": num_times}),
     )
+
+
+def figure3_study(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (4, 16, 64, 128, 254),
+    vera_threads: Sequence[int] = (2, 8, 16, 30),
+) -> Study:
+    """The figure3 sweep: three benchmarks across both thread ladders."""
+    benches = _figure3_benches(outer_reps, num_times)
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    study = (
+    return (
         Study(
             ExperimentConfig(
                 proc_bind="close",
@@ -418,6 +497,45 @@ def figure3(
             for threads in sweep
         ))
         .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+
+
+@experiment(
+    "Figure 3: normalized min/max variability vs thread count",
+    study=figure3_study,
+)
+def figure3(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (4, 16, 64, 128, 254),
+    vera_threads: Sequence[int] = (2, 8, 16, 30),
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentArtifact:
+    """Figure 3: normalized min/max per run vs thread count, 6 panels."""
+    panels: list[tuple[str, str]] = []
+    data: dict[str, Any] = {}
+
+    def norm_rows(matrix: np.ndarray) -> tuple[list[float], list[float]]:
+        mins, maxs = [], []
+        for row in matrix:
+            s = summarize(row)
+            mins.append(s.norm_min)
+            maxs.append(s.norm_max)
+        return mins, maxs
+
+    benches = _figure3_benches(outer_reps, num_times)
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    study = figure3_study(
+        runs=runs,
+        outer_reps=outer_reps,
+        num_times=num_times,
+        seed=seed,
+        dardel_threads=dardel_threads,
+        vera_threads=vera_threads,
     )
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "platform", "benchmark", "num_threads"
@@ -455,18 +573,12 @@ def figure3(
 # Figure 4 — the effect of thread pinning (Dardel)
 # ---------------------------------------------------------------------------
 
-@experiment("Figure 4: thread pinning on/off on Dardel")
-def figure4(
-    runs: int = 10,
-    outer_reps: int = 100,
-    num_times: int = 100,
-    seed: int = 42,
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentArtifact:
-    """Figure 4: before/after pinning on Dardel."""
-    cases = (
+_FIGURE4_BINDINGS = (("unpinned", "false"), ("pinned", "close"))
+
+
+def _figure4_cases(outer_reps: int, num_times: int) -> tuple:
+    """(benchmark, threads, reported label, params) for the figure4 panels."""
+    return (
         ("schedbench", 16, "dynamic_1", {"outer_reps": outer_reps}),
         (
             "syncbench",
@@ -477,8 +589,18 @@ def figure4(
         ),
         ("babelstream", 128, StreamKernel.TRIAD.value, {"num_times": num_times}),
     )
-    bindings = (("unpinned", "false"), ("pinned", "close"))
-    study = (
+
+
+def figure4_study(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+) -> Study:
+    """The figure4 sweep: three Dardel workloads x pinned/unpinned."""
+    cases = _figure4_cases(outer_reps, num_times)
+    bindings = _FIGURE4_BINDINGS
+    return (
         Study(
             ExperimentConfig(
                 platform="dardel",
@@ -502,6 +624,24 @@ def figure4(
             proc_bind=[bind for _bound, bind in bindings],
             places=[None if bind == "false" else "cores" for _bound, bind in bindings],
         )
+    )
+
+
+@experiment("Figure 4: thread pinning on/off on Dardel", study=figure4_study)
+def figure4(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentArtifact:
+    """Figure 4: before/after pinning on Dardel."""
+    cases = _figure4_cases(outer_reps, num_times)
+    bindings = _FIGURE4_BINDINGS
+    study = figure4_study(
+        runs=runs, outer_reps=outer_reps, num_times=num_times, seed=seed
     )
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "benchmark", "num_threads", "proc_bind"
@@ -553,21 +693,13 @@ def figure4(
 # Figure 5 — the effect of SMT (Dardel)
 # ---------------------------------------------------------------------------
 
-@experiment("Figure 5: ST vs MT at equal thread counts on Dardel")
-def figure5(
-    runs: int = 10,
-    outer_reps: int = 100,
-    num_times: int = 100,
-    seed: int = 42,
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentArtifact:
-    """Figure 5: ST vs MT at equal thread counts on Dardel."""
-    modes = (("ST", "cores"), ("MT", "threads"))
-    constructs = tuple(c.value for c in SyncConstruct)
+_FIGURE5_MODES = (("ST", "cores"), ("MT", "threads"))
 
-    blocks = (
+
+def _figure5_blocks(outer_reps: int, num_times: int) -> tuple:
+    """(panel, benchmark, threads, extra overrides) for the figure5 blocks."""
+    constructs = tuple(c.value for c in SyncConstruct)
+    return (
         ("schedbench@128", "schedbench", 128,
          {"schedule": "dynamic", "schedule_chunk": 1,
           "benchmark_params": {"outer_reps": outer_reps}}),
@@ -577,7 +709,17 @@ def figure5(
         ("babelstream@128", "babelstream", 128,
          {"benchmark_params": {"num_times": num_times}}),
     )
-    study = (
+
+
+def figure5_study(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+) -> Study:
+    """The figure5 sweep: three Dardel workloads x ST/MT placement."""
+    blocks = _figure5_blocks(outer_reps, num_times)
+    return (
         Study(
             ExperimentConfig(
                 platform="dardel", proc_bind="close", runs=runs, seed=seed
@@ -589,7 +731,29 @@ def figure5(
             {"benchmark": bench, "num_threads": threads, **extra}
             for _block, bench, threads, extra in blocks
         ))
-        .grid(places=[places for _mode, places in modes])
+        .grid(places=[places for _mode, places in _FIGURE5_MODES])
+    )
+
+
+@experiment(
+    "Figure 5: ST vs MT at equal thread counts on Dardel",
+    study=figure5_study,
+)
+def figure5(
+    runs: int = 10,
+    outer_reps: int = 100,
+    num_times: int = 100,
+    seed: int = 42,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentArtifact:
+    """Figure 5: ST vs MT at equal thread counts on Dardel."""
+    modes = _FIGURE5_MODES
+    constructs = tuple(c.value for c in SyncConstruct)
+    blocks = _figure5_blocks(outer_reps, num_times)
+    study = figure5_study(
+        runs=runs, outer_reps=outer_reps, num_times=num_times, seed=seed
     )
     by_places = study.run(jobs=jobs, cache=cache, backend=backend).by("benchmark", "places")
     mode_places = dict(modes)
@@ -689,21 +853,17 @@ def figure5(
 # Figures 6 and 7 — frequency variation on Vera
 # ---------------------------------------------------------------------------
 
-def _vera_numa_experiment(
-    benchmark: str,
-    label: str,
-    params: dict,
-    runs: int,
-    seed: int,
-    jobs: int | None = 1,
-    cache: ResultCache | None = None,
-    backend: ExecutionBackend | None = None,
-) -> tuple[tuple[tuple[str, str], ...], dict[str, Any]]:
-    placements = (
-        ("one-numa (cpus 0-15)", "{0:16}"),
-        ("two-numa (cpus 0-7,16-23)", "{0:8},{16:8}"),
-    )
-    study = Study(
+_VERA_NUMA_PLACEMENTS = (
+    ("one-numa (cpus 0-15)", "{0:16}"),
+    ("two-numa (cpus 0-7,16-23)", "{0:8},{16:8}"),
+)
+
+
+def _vera_numa_study(
+    benchmark: str, params: dict, runs: int, seed: int
+) -> Study:
+    """The figure6/figure7 sweep: 16 Vera cores on 1 vs 2 NUMA domains."""
+    return Study(
         ExperimentConfig(
             platform="vera",
             benchmark=benchmark,
@@ -719,7 +879,50 @@ def _vera_numa_experiment(
         ),
         name=f"{benchmark}-numa",
         description="16 Vera cores on 1 vs 2 NUMA domains",
-    ).grid(places=[places for _name, places in placements])
+    ).grid(places=[places for _name, places in _VERA_NUMA_PLACEMENTS])
+
+
+def _figure6_params(outer_reps: int) -> dict:
+    return {"outer_reps": outer_reps}
+
+
+def _figure7_params(outer_reps: int) -> dict:
+    return {
+        "outer_reps": outer_reps,
+        "constructs": tuple(c.value for c in SyncConstruct),
+    }
+
+
+def figure6_study(
+    runs: int = 10, outer_reps: int = 100, seed: int = 42
+) -> Study:
+    """The figure6 sweep: schedbench on 1 vs 2 Vera NUMA domains."""
+    return _vera_numa_study(
+        "schedbench", _figure6_params(outer_reps), runs, seed
+    )
+
+
+def figure7_study(
+    runs: int = 10, outer_reps: int = 100, seed: int = 42
+) -> Study:
+    """The figure7 sweep: syncbench on 1 vs 2 Vera NUMA domains."""
+    return _vera_numa_study(
+        "syncbench", _figure7_params(outer_reps), runs, seed
+    )
+
+
+def _vera_numa_experiment(
+    benchmark: str,
+    label: str,
+    params: dict,
+    runs: int,
+    seed: int,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: ExecutionBackend | None = None,
+) -> tuple[tuple[tuple[str, str], ...], dict[str, Any]]:
+    placements = _VERA_NUMA_PLACEMENTS
+    study = _vera_numa_study(benchmark, params, runs, seed)
     by_places = study.run(jobs=jobs, cache=cache, backend=backend).by("places")
 
     sections = []
@@ -758,7 +961,10 @@ def _vera_numa_experiment(
     return tuple(sections), data
 
 
-@experiment("Figure 6: Vera schedbench on 1 vs 2 NUMA domains + freq traces")
+@experiment(
+    "Figure 6: Vera schedbench on 1 vs 2 NUMA domains + freq traces",
+    study=figure6_study,
+)
 def figure6(
     runs: int = 10,
     outer_reps: int = 100,
@@ -771,7 +977,7 @@ def figure6(
     sections, data = _vera_numa_experiment(
         "schedbench",
         "dynamic_1",
-        {"outer_reps": outer_reps},
+        _figure6_params(outer_reps),
         runs,
         seed,
         jobs=jobs,
@@ -786,7 +992,10 @@ def figure6(
     )
 
 
-@experiment("Figure 7: Vera syncbench on 1 vs 2 NUMA domains + freq traces")
+@experiment(
+    "Figure 7: Vera syncbench on 1 vs 2 NUMA domains + freq traces",
+    study=figure7_study,
+)
 def figure7(
     runs: int = 10,
     outer_reps: int = 100,
@@ -804,8 +1013,7 @@ def figure7(
     sections, data = _vera_numa_experiment(
         "syncbench",
         SyncConstruct.REDUCTION.value,
-        {"outer_reps": outer_reps,
-         "constructs": tuple(c.value for c in SyncConstruct)},
+        _figure7_params(outer_reps),
         runs,
         seed,
         jobs=jobs,
@@ -826,7 +1034,47 @@ def figure7(
 # Figure 8 — tasking variability (work-stealing runtime)
 # ---------------------------------------------------------------------------
 
-@experiment("Figure 8: taskbench work-stealing vs threads x grainsize x noise")
+def figure8_study(
+    runs: int = 10,
+    outer_reps: int = 20,
+    seed: int = 42,
+    threads: Sequence[int] = (2, 8, 16, 30),
+    grainsizes: Sequence[int] = (1, 8, 64),
+    noise_profiles: Sequence[str] = ("default", "quiet"),
+    total_iters: int = 512,
+) -> Study:
+    """The figure8 sweep: taskbench noise x threads x grainsize grid."""
+    return (
+        Study(
+            ExperimentConfig(
+                platform="vera",
+                benchmark="taskbench",
+                places="cores",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={
+                    "outer_reps": outer_reps,
+                    "pattern": "taskloop",
+                    "total_iters": total_iters,
+                    "imbalance": 0.6,
+                },
+            ),
+            name="figure8",
+            description="taskbench work-stealing sweep on Vera",
+        )
+        .grid(
+            noise=list(noise_profiles),
+            num_threads=list(threads),
+            grainsize=list(grainsizes),
+        )
+    )
+
+
+@experiment(
+    "Figure 8: taskbench work-stealing vs threads x grainsize x noise",
+    study=figure8_study,
+)
 def figure8(
     runs: int = 10,
     outer_reps: int = 20,
@@ -853,30 +1101,14 @@ def figure8(
     remains is purely the runtime's own stochastic scheduling (victim
     choices + contention jitter); the default profile adds the OS on top.
     """
-    study = (
-        Study(
-            ExperimentConfig(
-                platform="vera",
-                benchmark="taskbench",
-                places="cores",
-                proc_bind="close",
-                runs=runs,
-                seed=seed,
-                benchmark_params={
-                    "outer_reps": outer_reps,
-                    "pattern": "taskloop",
-                    "total_iters": total_iters,
-                    "imbalance": 0.6,
-                },
-            ),
-            name="figure8",
-            description="taskbench work-stealing sweep on Vera",
-        )
-        .grid(
-            noise=list(noise_profiles),
-            num_threads=list(threads),
-            grainsize=list(grainsizes),
-        )
+    study = figure8_study(
+        runs=runs,
+        outer_reps=outer_reps,
+        seed=seed,
+        threads=threads,
+        grainsizes=grainsizes,
+        noise_profiles=noise_profiles,
+        total_iters=total_iters,
     )
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "noise", "num_threads", "grainsize"
@@ -954,8 +1186,47 @@ def figure8(
 # Runtime comparison — vendor profiles x wait policies (beyond the paper)
 # ---------------------------------------------------------------------------
 
+def runtime_compare_study(
+    runs: int = 10,
+    outer_reps: int = 50,
+    seed: int = 42,
+    dardel_threads: Sequence[int] = (16, 64, 128),
+    vera_threads: Sequence[int] = (8, 16, 30),
+    runtimes: Sequence[str] = ("gnu", "llvm"),
+    wait_policies: Sequence[str] = ("active", "passive"),
+) -> Study:
+    """The runtime_compare sweep: vendor x wait-policy x thread ladders."""
+    sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
+    return (
+        Study(
+            ExperimentConfig(
+                benchmark="syncbench",
+                proc_bind="close",
+                runs=runs,
+                seed=seed,
+                benchmark_params={
+                    "outer_reps": outer_reps,
+                    "constructs": (
+                        SyncConstruct.BARRIER.value,
+                        SyncConstruct.PARALLEL.value,
+                    ),
+                },
+            ),
+            name="runtime_compare",
+            description="vendor x wait-policy x threads on both platforms",
+        )
+        .cases(*(
+            {"platform": platform, "num_threads": threads}
+            for platform, sweep in sweeps
+            for threads in sweep
+        ))
+        .grid(runtime=list(runtimes), wait_policy=list(wait_policies))
+        .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    )
+
+
 @experiment("Runtime compare: vendor (gnu/llvm) x wait-policy x threads, "
-            "both platforms")
+            "both platforms", study=runtime_compare_study)
 def runtime_compare(
     runs: int = 10,
     outer_reps: int = 50,
@@ -985,31 +1256,14 @@ def runtime_compare(
       not just a mean shift.
     """
     sweeps = (("dardel", dardel_threads), ("vera", vera_threads))
-    study = (
-        Study(
-            ExperimentConfig(
-                benchmark="syncbench",
-                proc_bind="close",
-                runs=runs,
-                seed=seed,
-                benchmark_params={
-                    "outer_reps": outer_reps,
-                    "constructs": (
-                        SyncConstruct.BARRIER.value,
-                        SyncConstruct.PARALLEL.value,
-                    ),
-                },
-            ),
-            name="runtime_compare",
-            description="vendor x wait-policy x threads on both platforms",
-        )
-        .cases(*(
-            {"platform": platform, "num_threads": threads}
-            for platform, sweep in sweeps
-            for threads in sweep
-        ))
-        .grid(runtime=list(runtimes), wait_policy=list(wait_policies))
-        .derive(places=lambda cfg: _thread_places(cfg.platform, cfg.num_threads))
+    study = runtime_compare_study(
+        runs=runs,
+        outer_reps=outer_reps,
+        seed=seed,
+        dardel_threads=dardel_threads,
+        vera_threads=vera_threads,
+        runtimes=runtimes,
+        wait_policies=wait_policies,
     )
     by_combo = study.run(jobs=jobs, cache=cache, backend=backend).by(
         "platform", "runtime", "wait_policy", "num_threads"

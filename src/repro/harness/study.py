@@ -41,6 +41,7 @@ Studies are immutable: every composition method returns a new
 from __future__ import annotations
 
 import csv
+import io
 import itertools
 import json
 from dataclasses import dataclass, fields as _dataclass_fields
@@ -51,7 +52,7 @@ import numpy as np
 
 from repro.errors import HarnessError
 from repro.harness.backend import ExecutionBackend
-from repro.harness.cache import ResultCache
+from repro.harness.cache import ResultCache, cache_key
 from repro.harness.config import ExperimentConfig
 from repro.harness.parallel import Sweep
 from repro.harness.results import ExperimentResult
@@ -260,6 +261,32 @@ class Study:
     def __len__(self) -> int:
         return len(self.configs())
 
+    def preview(self, cache: ResultCache | None = None) -> list[dict[str, Any]]:
+        """Expanded configs with cache keys and warm/cold status — the
+        ``sweep --dry-run`` / ``POST /jobs?dry_run=1`` payload.
+
+        One row per selected config: ``index``, ``label``, the full
+        ``config`` dict, its ``cache_key`` and whether *cache* already
+        holds an entry for it.  Probes the cache directory directly (no
+        :meth:`ResultCache.get`), so previewing never perturbs the
+        hit/miss counters and never simulates.
+        """
+        rows: list[dict[str, Any]] = []
+        for index, cfg in enumerate(self.configs()):
+            key = cache_key(cfg)
+            cached = (
+                cache is not None
+                and (cache.cache_dir / f"{key}.json").exists()
+            )
+            rows.append({
+                "index": index,
+                "label": cfg.display_label,
+                "config": cfg.to_dict(),
+                "cache_key": key,
+                "cached": bool(cached),
+            })
+        return rows
+
     # -- execution ------------------------------------------------------------
 
     def run(
@@ -462,28 +489,41 @@ class StudyResult:
 
     # -- export ----------------------------------------------------------------
 
-    def to_json(self, path: str | Path) -> int:
-        """Write the tidy records (plus study metadata) as JSON; returns
-        the number of records written."""
-        records = self.to_records()
+    def to_json_text(self) -> str:
+        """The JSON export as a string — exactly the bytes :meth:`to_json`
+        writes, so the job service can serve records byte-identical to a
+        CLI ``--out`` file."""
         payload = {
             "study": self.study.name,
             "description": self.study.description,
             "axes": list(self.record_axes()),
-            "records": records,
+            "records": self.to_records(),
         }
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
-        return len(records)
+        return json.dumps(payload, indent=2) + "\n"
+
+    def to_csv_text(self) -> str:
+        """The CSV export as a string (same bytes as :meth:`to_csv`)."""
+        records = self.to_records()
+        columns = [*self.record_axes(), "label", "run", *_STAT_COLUMNS]
+        buffer = io.StringIO(newline="")
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(records)
+        return buffer.getvalue()
+
+    def to_json(self, path: str | Path) -> int:
+        """Write the tidy records (plus study metadata) as JSON; returns
+        the number of records written."""
+        text = self.to_json_text()
+        Path(path).write_text(text)
+        return len(self.to_records())
 
     def to_csv(self, path: str | Path) -> int:
         """Write the tidy records as CSV (header = axis + stat columns);
         returns the number of records written."""
         records = self.to_records()
-        columns = [*self.record_axes(), "label", "run", *_STAT_COLUMNS]
         with open(path, "w", newline="") as fh:
-            writer = csv.DictWriter(fh, fieldnames=columns)
-            writer.writeheader()
-            writer.writerows(records)
+            fh.write(self.to_csv_text())
         return len(records)
 
 

@@ -1,0 +1,59 @@
+"""Simulation-as-a-service: an async job API over Study/Sweep.
+
+The :mod:`repro.serve` package turns the declarative Study API into a
+long-running HTTP service (``repro-omp serve``): clients submit JSON job
+specs, the service expands them into config lists, multiplexes execution
+over one shared :class:`~repro.harness.backend.ProcessPoolBackend`, and
+streams progress over Server-Sent Events.  Everything is stdlib-only
+(``http.server``), and every identity the service mints — job ids, spec
+fingerprints, dedup keys — is a pure function of the submitted content,
+never of wall clocks, pids or entropy (enforced statically by the DET005
+lint rule).
+
+Layers
+------
+:mod:`repro.serve.jobspec`
+    The JSON job-spec schema: strict validation (errors name the
+    offending field), ``spec_to_study`` / ``study_to_spec`` round-trips
+    of the full Study surface, and a safe expression evaluator for
+    string-form ``derive`` / ``where`` clauses.
+:mod:`repro.serve.jobs`
+    ``Job`` / ``JobStore`` / ``JobQueue``: deterministic job ids,
+    atomic-write persistence, the queued → running → done/failed/
+    cancelled lifecycle, and in-flight dedup keyed by the jobs' cache-key
+    fingerprints.
+:mod:`repro.serve.governor`
+    The concurrency governor: one shared persistent pool backend for all
+    jobs plus a token-bucket per-client rate limit.
+:mod:`repro.serve.server`
+    ``JobService`` (the engine: worker threads, progress events, records
+    rendering) and the ``ThreadingHTTPServer`` front end.
+:mod:`repro.serve.client`
+    A small ``urllib``-based client used by ``repro-omp
+    submit/status/fetch`` and the CI smoke job.
+
+See docs/service.md for the endpoint catalog, lifecycle and dedup /
+rate-limit semantics.
+"""
+
+from repro.serve.jobspec import (
+    spec_from_study,
+    spec_to_study,
+    validate_spec,
+)
+from repro.serve.jobs import Job, JobQueue, JobStore
+from repro.serve.governor import Governor, TokenBucket
+from repro.serve.server import JobService, create_http_server
+
+__all__ = [
+    "Governor",
+    "Job",
+    "JobQueue",
+    "JobService",
+    "JobStore",
+    "TokenBucket",
+    "create_http_server",
+    "spec_from_study",
+    "spec_to_study",
+    "validate_spec",
+]

@@ -1,0 +1,161 @@
+"""A small stdlib client for the job service.
+
+Backs the ``repro-omp submit / status / fetch`` subcommands and the CI
+``serve-smoke`` job: plain ``urllib.request`` against the endpoints in
+:mod:`repro.serve.server`, including a line-level parser for the SSE
+progress stream.  Deadlines use the service's
+:func:`~repro.serve.governor.monotonic_clock` — never wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.errors import ServiceError
+from repro.serve.governor import monotonic_clock
+
+__all__ = ["ServiceClient", "parse_sse"]
+
+
+def parse_sse(lines: Iterator[bytes]) -> Iterator[dict]:
+    """Parse an SSE byte stream into event dicts.
+
+    Yields ``{"event": name, "data": <parsed JSON>}`` per frame;
+    tolerates comment lines and ignores fields other than ``event`` /
+    ``data`` (the server only emits those).
+    """
+    event: str | None = None
+    data: list[str] = []
+    for raw in lines:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if not line:
+            if data:
+                yield {
+                    "event": event or "message",
+                    "data": json.loads("\n".join(data)),
+                }
+            event, data = None, []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if field == "event":
+            event = value
+        elif field == "data":
+            data.append(value)
+
+
+class ServiceClient:
+    """Talk to a running job service at *base_url*.
+
+    ``client_id`` is sent as ``X-Client-Id`` so the service's per-client
+    rate limiting keys on a stable name rather than the socket address.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Any | None = None
+    ) -> urllib.request.Request:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+
+    def _json(self, method: str, path: str, body: Any | None = None) -> Any:
+        request = self._request(method, path, body)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach job service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def submit(self, spec: dict, *, dry_run: bool = False) -> dict:
+        path = "/jobs?dry_run=1" if dry_run else "/jobs"
+        return self._json("POST", path, body=spec)
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def records(self, job_id: str, fmt: str = "json") -> str:
+        request = self._request("GET", f"/jobs/{job_id}/records?format={fmt}")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            raise ServiceError(
+                f"records for {job_id} unavailable ({exc.code}): {detail}"
+            ) from None
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's SSE events until its terminal event."""
+        request = self._request("GET", f"/jobs/{job_id}/events")
+        response = urllib.request.urlopen(request, timeout=self.timeout)
+        try:
+            yield from parse_sse(iter(response.readline, b""))
+        finally:
+            response.close()
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll_seconds: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        import time
+
+        deadline = monotonic_clock() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if monotonic_clock() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {snapshot['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,146 @@
+"""The concurrency governor: worker threads and per-client rate limits.
+
+Two resources need governing in the job service.  *Execution slots*: all
+jobs multiplex over one shared persistent
+:class:`~repro.harness.backend.ProcessPoolBackend` — jobs must not each
+spawn their own pool, so the degree of job-level concurrency is set by
+how many :class:`Governor` worker threads drain the queue, while the
+process-level parallelism inside each job is the shared pool's size.
+*Request admission*: each client gets a :class:`TokenBucket`; submissions
+beyond its rate are rejected with 429 rather than queued, keeping one
+chatty client from starving the rest.
+
+Clock discipline (DET005): nothing in the service derives identity from
+time.  The single place a clock is read is :func:`monotonic_clock` —
+monotonic, never wall time — and it feeds only rate limiting here and
+the telemetry helpers in the server.  Buckets take the clock as an
+injectable parameter so tests drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["Governor", "TokenBucket", "monotonic_clock"]
+
+
+def monotonic_clock() -> float:
+    """The service's only clock: monotonic seconds, for rate limiting
+    and telemetry durations — never for identity (DET005)."""
+    return time.monotonic()
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``refill_per_sec`` rate.
+
+    Thread-safe; the clock is injected so tests can advance time by
+    hand instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_sec: float,
+        clock: Callable[[], float] = monotonic_clock,
+    ) -> None:
+        if capacity <= 0 or refill_per_sec < 0:
+            raise ValueError(
+                f"token bucket needs capacity > 0 and refill >= 0, got "
+                f"capacity={capacity!r} refill_per_sec={refill_per_sec!r}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_sec = float(refill_per_sec)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_sec
+            )
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class Governor:
+    """Runs jobs from a queue on a fixed pool of worker threads and
+    admits client requests through per-client token buckets.
+
+    The *runner* callable executes one job id to completion (the
+    service's job loop); worker count bounds how many jobs progress
+    concurrently, independent of how many processes each job's backend
+    uses.
+    """
+
+    def __init__(
+        self,
+        queue,
+        runner: Callable[[str], None],
+        *,
+        workers: int = 2,
+        rate_capacity: float = 10.0,
+        rate_refill_per_sec: float = 2.0,
+        clock: Callable[[], float] = monotonic_clock,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"governor needs at least one worker, got {workers}")
+        self.queue = queue
+        self.workers = workers
+        self._runner = runner
+        self._rate_capacity = rate_capacity
+        self._rate_refill = rate_refill_per_sec
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+
+    # -- execution slots ---------------------------------------------------
+
+    def start(self) -> None:
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._work, name=f"job-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _work(self) -> None:
+        while True:
+            job_id = self.queue.get()
+            if job_id is None:
+                return
+            self._runner(job_id)
+
+    def stop(self) -> None:
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads.clear()
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, client: str) -> bool:
+        """One submission token for *client*; False means rate-limited."""
+        with self._buckets_lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self._rate_capacity, self._rate_refill, clock=self._clock
+                )
+                self._buckets[client] = bucket
+        return bucket.try_acquire()

@@ -461,6 +461,143 @@ class TestDET004:
 
 
 # ---------------------------------------------------------------------------
+# DET005 — job-service identity purity
+# ---------------------------------------------------------------------------
+
+SERVE = ("repro", "serve", "fake")
+
+
+class TestDET005:
+    def test_wall_clock_anywhere_in_serve_flagged(self):
+        out = findings(
+            """
+            import time
+
+            def handle_submit(spec):
+                return {"received_at": time.time(), "spec": spec}
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert len(out) == 1
+        assert "time.time" in out[0].message
+
+    def test_uuid4_job_id_flagged(self):
+        out = findings(
+            """
+            import uuid
+
+            def job_id_for(seq, fingerprint):
+                return str(uuid.uuid4())
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert len(out) == 1
+        assert "uuid.uuid4" in out[0].message
+        assert "dedup" in out[0].message
+
+    def test_random_in_serve_flagged(self):
+        out = findings(
+            """
+            import random
+
+            def pick_worker(workers):
+                return random.choice(workers)
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert len(out) == 1
+        assert "random.choice" in out[0].message
+
+    def test_monotonic_outside_clock_scope_flagged(self):
+        out = findings(
+            """
+            import time
+
+            def submit(spec):
+                started = time.monotonic()
+                return started
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert len(out) == 1
+        assert "monotonic_clock" in out[0].message
+
+    def test_monotonic_in_clock_helper_passes(self):
+        out = findings(
+            """
+            import time
+
+            def monotonic_clock():
+                return time.monotonic()
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert out == []
+
+    def test_monotonic_in_telemetry_scope_passes(self):
+        out = findings(
+            """
+            import time
+
+            def telemetry_snapshot(metrics):
+                return {"at": time.perf_counter()}
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert out == []
+
+    def test_identity_scope_bans_even_monotonic(self):
+        """A clock-named helper does not excuse identity scopes: a
+        fingerprint function may never read any clock."""
+        out = findings(
+            """
+            import time
+
+            class SpecFingerprint:
+                def clock_salt(self):
+                    return time.monotonic()
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert len(out) == 1
+
+    def test_pure_fingerprint_passes(self):
+        out = findings(
+            """
+            import hashlib
+            import json
+
+            def spec_fingerprint(keys):
+                blob = json.dumps(sorted(keys))
+                return hashlib.sha256(blob.encode()).hexdigest()
+            """,
+            "DET005",
+            module_parts=SERVE,
+        )
+        assert out == []
+
+    def test_only_applies_to_serve_package(self):
+        out = findings(
+            """
+            import time
+
+            def handle_submit(spec):
+                return time.time()
+            """,
+            "DET005",
+            module_parts=HARNESS,
+        )
+        assert out == []
+
+
+# ---------------------------------------------------------------------------
 # PERF001 — __slots__ discipline
 # ---------------------------------------------------------------------------
 
@@ -660,8 +797,8 @@ class TestAPI001:
 class TestRegistry:
     def test_all_rule_families_registered(self):
         assert {
-            "DET001", "DET002", "DET003", "DET004", "PERF001", "PERF002",
-            "API001",
+            "DET001", "DET002", "DET003", "DET004", "DET005", "PERF001",
+            "PERF002", "API001",
         } <= set(available_rules())
 
     def test_unknown_rule_raises(self):
@@ -837,8 +974,8 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "DET001", "DET002", "DET003", "DET004", "PERF001", "PERF002",
-            "API001",
+            "DET001", "DET002", "DET003", "DET004", "DET005", "PERF001",
+            "PERF002", "API001",
         ):
             assert rule_id in out
 

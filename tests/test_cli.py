@@ -235,6 +235,50 @@ class TestSweep:
         assert "error:" in err and "bogus_param" in err
 
 
+class TestSweepDryRun:
+    def test_prints_configs_with_cache_keys(self, capsys, tmp_path):
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "1", "--reps", "3",
+            "--grid", "num_threads=2,4", "--dry-run",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["total"] == 2
+        assert [row["index"] for row in data["configs"]] == [0, 1]
+        for row in data["configs"]:
+            assert set(row) == {"index", "label", "config", "cache_key",
+                                "cached"}
+            assert len(row["cache_key"]) == 64
+            assert row["cached"] is False
+        assert [r["config"]["num_threads"] for r in data["configs"]] == [2, 4]
+
+    def test_dry_run_simulates_nothing_and_reports_warm_entries(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--platform", "toy", "--runs", "1", "--reps", "3",
+            "--grid", "num_threads=2,4", "--cache-dir", cache,
+        ]
+        assert main([*argv, "--dry-run"]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0  # real run warms the cache
+        capsys.readouterr()
+        assert main([*argv, "--dry-run"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all(row["cached"] for row in data["configs"])
+
+    def test_dry_run_without_cache_marks_all_cold(self, capsys):
+        rc = main([
+            "sweep", "--platform", "toy", "--runs", "1", "--reps", "3",
+            "--grid", "num_threads=2,4", "--dry-run",
+        ])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [row["cached"] for row in data["configs"]] == [False, False]
+
+
 class TestBenchReport:
     """The bench report writer: baseline carry rules shared by the CLI
     and benchmarks/bench_engine.py."""

@@ -197,6 +197,46 @@ class TestResultCache:
         assert live.exists()
         assert len(cache) == 0
 
+    def test_counters_exact_under_thread_contention(self, tmp_path):
+        """The job service drives one shared ResultCache from several
+        worker threads at once; hit/miss/store counts must stay exact
+        (the bare ``+= 1`` they replaced loses updates under the very
+        interleaving this hammers)."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        cfgs = [_cfg(seed=s) for s in range(4)]
+        results = {cache_key(c): Runner(c).run() for c in cfgs}
+        threads_per_cfg, rounds = 4, 25
+        barrier = threading.Barrier(len(cfgs) * threads_per_cfg)
+        failures = []
+
+        def hammer(cfg):
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    cache.get(cfg)  # miss until stored, hit after
+                    cache.put(results[cache_key(cfg)])
+                    assert cache.get(cfg) is not None
+            except Exception as exc:  # pragma: no cover - diagnostics
+                failures.append(exc)
+
+        workers = [
+            threading.Thread(target=hammer, args=(cfg,))
+            for cfg in cfgs
+            for _ in range(threads_per_cfg)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert not failures
+        total_gets = len(workers) * rounds * 2
+        assert cache.hits + cache.misses == total_gets
+        assert cache.stores == len(workers) * rounds
+        # every first-round pre-store get can miss, everything else hits
+        assert cache.misses <= len(workers)
+
     def test_second_invocation_served_without_simulation(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path)
         cfg = _cfg()
