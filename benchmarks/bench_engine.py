@@ -39,6 +39,16 @@ def test_engine_throughput(benchmark, scale):
     assert eng["cancel_churn_events_per_sec"] > 10_000
     assert report["figure8_smoke"]["events"] > 0
 
+    # fused rep-axis plane: bench_rep_fusion raises SimulationError if the
+    # fused result diverged from the scalar engine, so reaching the
+    # assertion at all means byte-identity held; the speedup floor is
+    # loose here (quick shapes on shared CI), the >=2x acceptance number
+    # lives in the full-run BENCH_engine.json trajectory
+    fusion = report["rep_fusion"]
+    assert fusion["scalar_runs_per_sec"] > 0
+    assert fusion["fused_runs_per_sec"] > 0
+    assert fusion["speedup"] > 1.0
+
     # the simulated event count is part of the determinism contract:
     # re-running the same smoke configuration (the report records its rep
     # count) must execute the exact same events, whatever the wall-clock

@@ -1,10 +1,12 @@
-"""Hot-path contract rules: PERF001 (``__slots__`` discipline) and
-PERF002 (no per-iteration closure allocation).
+"""Hot-path contract rules: PERF001 (``__slots__`` discipline), PERF002
+(no per-iteration closure allocation) and PERF003 (no per-repetition
+Python loops in fused-path code).
 
 The PR 5 engine overhaul bought its 2.2-2.8x by making the event loop
 allocation-free: slotted instances and one reusable trampoline per
-process.  These rules keep that discipline from eroding as the hot
-modules grow.
+process; the fused rep-axis engine (:mod:`repro.sim.fused`) bought its
+speedup by turning the repetition axis into an array dimension.  These
+rules keep both disciplines from eroding as the hot modules grow.
 """
 
 from __future__ import annotations
@@ -144,4 +146,90 @@ class NoClosureInLoop(Rule):
             node,
             f"{kind} is allocated on every iteration of an enclosing "
             f"hot-path loop",
+        )
+
+
+#: Identifiers that name the repetition/run count.  A ``for`` loop over
+#: ``range(<one of these>)`` in fused-path code walks the rep axis in
+#: Python — exactly the scalar-engine shape the fused plane exists to
+#: replace.
+_REP_COUNT_NAMES = frozenset({
+    "runs", "n_runs", "num_runs", "outer_reps", "num_times", "reps", "n_reps",
+})
+
+#: The module that *is* the fused engine; every loop over the rep axis
+#: inside it is suspect regardless of function naming.
+_FUSED_MODULE = ("repro", "sim", "fused")
+
+
+def _range_rep_name(iter_node: ast.AST) -> str | None:
+    """The rep-count identifier a ``range(...)`` iteration consumes.
+
+    Returns the offending name when *iter_node* is a ``range(...)`` call
+    whose arguments mention a :data:`_REP_COUNT_NAMES` identifier
+    (directly, as an attribute like ``config.runs``, or inside arithmetic
+    such as ``range(n_reps - 1)``); ``None`` otherwise.  Loops over
+    ``range(out.shape[1])``, ``np.flatnonzero(...)``, ``enumerate(...)``
+    or plain collections never match — the fused engine's sanctioned
+    sequential loops (time-coupled *steps*, not repetitions) use exactly
+    those shapes.
+    """
+    if not isinstance(iter_node, ast.Call):
+        return None
+    func = iter_node.func
+    if not (isinstance(func, ast.Name) and func.id == "range"):
+        return None
+    for arg in list(iter_node.args) + [kw.value for kw in iter_node.keywords]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and sub.id in _REP_COUNT_NAMES:
+                return sub.id
+            if isinstance(sub, ast.Attribute) and sub.attr in _REP_COUNT_NAMES:
+                return sub.attr
+    return None
+
+
+@register_rule
+class NoRepLoopInFusedPath(Rule):
+    """PERF003: no per-repetition Python ``for`` loops in fused-path code."""
+
+    id = "PERF003"
+    title = "no per-repetition Python loops in fused-path scopes"
+    rationale = (
+        "The fused rep-axis engine earns its speedup by evaluating all "
+        "repetitions of a run as one (R, ...)-shaped array program; a "
+        "Python `for` over range(runs/outer_reps/num_times/...) inside "
+        "repro.sim.fused or a *_fused function reintroduces the scalar "
+        "per-rep interpreter loop the plane exists to replace, and the "
+        "regression is invisible because results stay byte-identical."
+    )
+    fix_hint = (
+        "vectorize over the rep axis (RepStreams draws, (R, n) array "
+        "ops); a genuinely sequential *step* loop (time-coupled "
+        "iterations) should iterate range(out.shape[1]) over a "
+        "pre-drawn (R, steps) array instead of a rep-count name"
+    )
+    packages = None  # fused scopes are named, not package-bound
+    node_types = (ast.For,)
+
+    def visit(
+        self, node: ast.For, ctx: FileContext, state: WalkState,
+        report: Reporter,
+    ) -> None:
+        in_fused_module = ctx.module_parts == _FUSED_MODULE
+        in_fused_function = any(
+            name.endswith("_fused") for name in state.scope_stack
+        )
+        if not (in_fused_module or in_fused_function):
+            return
+        name = _range_rep_name(node.iter)
+        if name is None:
+            return
+        where = (
+            "repro.sim.fused" if in_fused_module
+            else f"fused-path function {state.scope_name()!r}"
+        )
+        report(
+            node,
+            f"per-repetition loop over range({name}) in {where} walks "
+            f"the rep axis in Python",
         )

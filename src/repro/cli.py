@@ -87,7 +87,12 @@ from pathlib import Path
 
 from repro.bench.registry import available_benchmarks
 from repro.errors import ReproError
-from repro.harness.backend import available_backends, make_backend, parse_shard
+from repro.harness.backend import (
+    FUSED_MODES,
+    available_backends,
+    make_backend,
+    parse_shard,
+)
 from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig
 from repro.harness.experiments import (
@@ -128,6 +133,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
              "`repro-omp gather`; see docs/distributed.md)",
     )
     parser.add_argument(
+        "--fused", choices=FUSED_MODES, default="auto",
+        help="fused rep-axis engine: batch all repetitions of eligible "
+             "configs into one array program, byte-identical to scalar "
+             "execution (default auto: fuse eligible multi-run configs; "
+             "see docs/performance.md)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache results on disk under DIR and replay them on re-invocation",
     )
@@ -164,7 +176,10 @@ def _make_backend(args: argparse.Namespace):
     """The ExecutionBackend the --backend/--shard/--jobs flags ask for
     (``None`` keeps the Sweep's own jobs-based default)."""
     shard = parse_shard(args.shard) if args.shard is not None else None
-    return make_backend(args.backend, jobs=args.jobs, shard=shard)
+    return make_backend(
+        args.backend, jobs=args.jobs, shard=shard,
+        fused=getattr(args, "fused", "off"),
+    )
 
 
 def _finish_obs(args: argparse.Namespace, configs, metrics) -> None:
@@ -909,6 +924,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"figure8 smoke:   {smoke['events_per_sec']:>12,} "
         f"({smoke['events']} simulated events in {smoke['wall_seconds']:.3f}s)"
     )
+    fusion = report.get("rep_fusion")
+    if fusion:
+        print(
+            f"rep fusion:      {fusion['fused_runs_per_sec']:>12,.1f} runs/sec fused "
+            f"vs {fusion['scalar_runs_per_sec']:,.1f} scalar "
+            f"({fusion['speedup']:.2f}x, R={fusion['runs']} byte-identical)"
+        )
     for key, factor in report.get("speedup_vs_baseline", {}).items():
         print(f"  {factor:5.2f}x vs recorded baseline: {key}")
     n_prior = len(report.get("trajectory", []))

@@ -123,6 +123,85 @@ class FrequencyPlan:
         return self.traces[cpu].mean(start, end)
 
 
+class FrequencyPlanBatch:
+    """Padded rep-axis view over ``R`` runs' plans for a fixed cpu list.
+
+    Rows are ``(run, cpu)`` pairs in run-major order.  Each row's trace is
+    padded to the widest trace with ``+inf`` breakpoints, so the padded
+    segment lookup ``sum(times <= t) - 1`` lands on exactly the segment
+    the scalar ``bisect_right`` fast path (:meth:`PiecewiseConstant._seg_idx`)
+    would pick.  The batched queries keep :class:`FrequencyPlan`'s scalar
+    methods as the byte-identity reference: :meth:`duration_for_cycles_fused`
+    resolves only queries answered within their first segment (the common
+    case for collapsed traces) and reports the rest for scalar fallback.
+    """
+
+    __slots__ = ("plans", "cpus", "times", "values")
+
+    def __init__(self, plans: Sequence[FrequencyPlan], cpus: Sequence[int]):
+        self.plans = tuple(plans)
+        self.cpus = tuple(int(c) for c in cpus)
+        traces = [p.traces[c] for p in self.plans for c in self.cpus]
+        width = max(len(t) for t in traces)
+        # one extra +inf column: segment ends read at idx + 1 stay in bounds
+        times = np.full((len(traces), width + 1), np.inf)
+        values = np.ones((len(traces), width))
+        for k, tr in enumerate(traces):
+            times[k, : len(tr)] = tr.times
+            values[k, : len(tr)] = tr.values
+        self.times = times
+        self.values = values
+
+    @property
+    def calibration_hz(self) -> float:
+        return self.plans[0].calibration_hz
+
+    def _segment_index(self, flat_t: np.ndarray) -> np.ndarray:
+        idx = np.sum(self.times[:, :-1] <= flat_t[:, None], axis=1) - 1
+        if np.any(idx < 0):
+            raise FrequencyError(
+                f"batched query before trace start: min t = {np.min(flat_t)}"
+            )
+        return idx
+
+    def freq_at_fused(self, t: np.ndarray) -> np.ndarray:
+        """``plans[r].freq_at(cpus[i], t[r, i])`` for every row, bit-identical."""
+        t = np.asarray(t, dtype=np.float64)
+        flat = t.reshape(-1)
+        idx = self._segment_index(flat)
+        return self.values[np.arange(flat.size), idx].reshape(t.shape)
+
+    def duration_for_cycles_fused(
+        self, start: np.ndarray, cycles: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`FrequencyPlan.duration_for_cycles` first-segment pass.
+
+        Returns ``(durations, resolved)``; entries with ``resolved`` False
+        need more than one trace segment and must be re-answered by the
+        scalar reference.  Resolved entries reproduce the scalar arithmetic
+        exactly: ``end = start + cycles / v`` then ``end - start``.
+        """
+        start = np.asarray(start, dtype=np.float64)
+        cycles = np.asarray(cycles, dtype=np.float64)
+        flat_s = start.reshape(-1)
+        flat_c = cycles.reshape(-1)
+        rows = np.arange(flat_s.size)
+        idx = self._segment_index(flat_s)
+        v = self.values[rows, idx]
+        seg_end = self.times[rows, idx + 1]
+        capacity = v * (seg_end - flat_s)
+        resolved = flat_c <= capacity
+        end = flat_s + flat_c / v
+        durations = end - flat_s
+        return durations.reshape(start.shape), resolved.reshape(start.shape)
+
+    def duration_for_cycles_scalar(
+        self, run: int, col: int, start: float, cycles: float
+    ) -> float:
+        """Scalar-reference fallback for one unresolved ``(run, cpu)`` entry."""
+        return self.plans[run].duration_for_cycles(self.cpus[col], start, cycles)
+
+
 class FrequencyModel:
     """Builds :class:`FrequencyPlan` instances for run windows."""
 

@@ -3,13 +3,18 @@
 :class:`~repro.harness.parallel.Sweep` owns the *policy* of a batch run —
 cache lookups, result ordering, telemetry — and delegates the *mechanism*
 of simulating the configurations that missed the cache to an
-:class:`ExecutionBackend`.  Three backends implement the protocol:
+:class:`ExecutionBackend`.  Four backends implement the protocol:
 
 * :class:`SerialBackend` — simulate in-process, one config at a time (the
   historical ``jobs=1`` path);
+* :class:`FusedBackend` — simulate in-process through the fused rep-axis
+  engine (:mod:`repro.sim.fused`), which evaluates all repetitions of a
+  config as one batched array program, falling back to the scalar loop
+  for configs the fused engine has no formulation for;
 * :class:`ProcessPoolBackend` — fan individual runs out over a
   ``ProcessPoolExecutor``, interleaved round-robin by run index (the
-  historical ``jobs=N`` path);
+  historical ``jobs=N`` path); with ``fused != "off"``, eligible configs
+  are submitted as whole-config fused tasks instead;
 * :class:`ShardedBackend` — execute only the configurations assigned to
   one shard of a distributed run, delegating the actual simulation to an
   inner backend.  Every shard worker computes the same partition from the
@@ -49,15 +54,48 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ExecutionBackend",
+    "FUSED_MODES",
+    "FusedBackend",
     "ProcessPoolBackend",
     "SerialBackend",
     "ShardedBackend",
     "available_backends",
     "make_backend",
+    "normalize_fused",
     "parse_shard",
     "resolve_jobs",
     "shard_index_of",
 ]
+
+#: ``--fused`` choices.  ``auto`` fuses eligible multi-run configs, ``on``
+#: fuses every eligible config, ``off`` keeps the scalar per-run loop.
+FUSED_MODES = ("auto", "on", "off")
+
+
+def normalize_fused(mode: str | None) -> str:
+    """Validate a ``--fused`` mode request (``None`` means ``off``)."""
+    mode = "off" if mode is None else mode
+    if mode not in FUSED_MODES:
+        raise ConfigurationError(
+            f"unknown fused mode {mode!r}; choose from {FUSED_MODES}"
+        )
+    return mode
+
+
+def _wants_fused(mode: str, config: ExperimentConfig) -> bool:
+    """Whether *config* should take the fused rep-axis path under *mode*.
+
+    ``auto`` fuses only multi-run configs (a single run has no rep axis to
+    batch); ``on`` fuses everything eligible.  Eligibility itself
+    (benchmark + binding shape) is :func:`repro.sim.fused.fused_ineligibility`.
+    """
+    if mode == "off":
+        return False
+    from repro.sim.fused import fused_ineligibility
+
+    if fused_ineligibility(config) is not None:
+        return False
+    return mode == "on" or config.runs >= 2
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -172,6 +210,57 @@ class SerialBackend(ExecutionBackend):
         return out
 
 
+class FusedBackend(ExecutionBackend):
+    """Simulate pending configs in-process through the fused rep-axis
+    engine (:func:`repro.sim.fused.run_fused`), which evaluates every
+    repetition of a config as one batched array program.
+
+    Configs the fused engine has no formulation for (see
+    :func:`repro.sim.fused.fused_ineligibility`) — and, in ``auto`` mode,
+    single-run configs — silently take the scalar per-run loop instead, so
+    this backend is a safe default for any batch.  Either path produces
+    byte-identical results; only the ``worker_id`` provenance stamp
+    (``compare=False``, never serialized) records which engine ran.
+    """
+
+    name = "fused"
+
+    def __init__(self, mode: str = "auto"):
+        mode = normalize_fused(mode)
+        if mode == "off":
+            raise ConfigurationError(
+                "FusedBackend with mode='off' is just SerialBackend; "
+                "construct that instead"
+            )
+        self.mode = mode
+
+    def execute(
+        self,
+        pending: Sequence[tuple[ExperimentConfig, str]],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> list[tuple[ExperimentResult, float] | None]:
+        from repro.sim.fused import run_fused
+
+        scalar = SerialBackend()
+        out: list[tuple[ExperimentResult, float] | None] = []
+        for cfg, key in pending:
+            if not _wants_fused(self.mode, cfg):
+                out.extend(scalar.execute([(cfg, key)], metrics))
+                continue
+            t_cfg = time.time()
+            result = run_fused(Runner(cfg))
+            elapsed = time.time() - t_cfg
+            per_run = elapsed / max(1, cfg.runs)
+            records = tuple(
+                replace(rec, worker_id="fused", wall_seconds=per_run)
+                for rec in result.records
+            )
+            out.append(
+                (ExperimentResult(config=cfg, records=records), elapsed)
+            )
+        return out
+
+
 #: Per-worker-process table of constructed runners (config key -> Runner).
 _WORKER_RUNNERS: dict[str, Runner] = {}
 
@@ -200,6 +289,32 @@ def _execute_run(
     return stamped, t_started
 
 
+def _execute_config_fused(
+    key: str, config: ExperimentConfig
+) -> tuple[ExperimentResult, float, float]:
+    """Worker entry point: simulate *all* runs of *config* fused.
+
+    The fused engine batches the whole rep axis, so a fused config is one
+    pool task rather than ``runs`` interleaved run tasks.  Returns the
+    provenance-stamped result, the worker's start wall time (for
+    queue-wait telemetry) and the elapsed simulation wall time.
+    """
+    from repro.sim.fused import run_fused
+
+    t_started = time.time()
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = _WORKER_RUNNERS[key] = Runner(config)
+    result = run_fused(runner)
+    elapsed = time.time() - t_started
+    per_run = elapsed / max(1, config.runs)
+    records = tuple(
+        replace(rec, worker_id=f"fused-pid{os.getpid()}", wall_seconds=per_run)
+        for rec in result.records
+    )
+    return ExperimentResult(config=config, records=records), t_started, elapsed
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Fan the runs of every pending config out over a process pool.
 
@@ -219,9 +334,15 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None, persistent: bool = False):
+    def __init__(
+        self,
+        jobs: int | None = None,
+        persistent: bool = False,
+        fused: str = "off",
+    ):
         self.jobs = resolve_jobs(jobs)
         self.persistent = persistent
+        self.fused = normalize_fused(fused)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
 
@@ -257,25 +378,47 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> list[tuple[ExperimentResult, float] | None]:
         if not pending:
             return []
-        # interleave round-robin by run index so every config makes progress
-        # from the start instead of queueing whole configs FIFO
+        # fused-eligible configs batch their whole rep axis in one worker
+        # task; the rest interleave round-robin by run index so every
+        # config makes progress from the start instead of queueing FIFO
+        fused_idx = {
+            i
+            for i, (cfg, _key) in enumerate(pending)
+            if _wants_fused(self.fused, cfg)
+        }
         tasks = sorted(
             (run, i, cfg, key)
             for i, (cfg, key) in enumerate(pending)
+            if i not in fused_idx
             for run in range(cfg.runs)
         )
-        max_workers = min(self.jobs, len(tasks))
+        n_tasks = len(tasks) + len(fused_idx)
+        max_workers = min(self.jobs, n_tasks)
         m = metrics
         out: list[tuple[ExperimentResult, float] | None] = [None] * len(pending)
         t_pool = time.time()
-        pool, owned = self._acquire_pool(len(tasks))
+        pool, owned = self._acquire_pool(n_tasks)
         try:
             submits: dict[tuple[int, int], float] = {}
             futures = {}
+            fused_submits: dict[int, float] = {}
+            fused_futures = {}
+            for i in sorted(fused_idx):
+                cfg, key = pending[i]
+                fused_submits[i] = time.time()
+                fused_futures[i] = pool.submit(_execute_config_fused, key, cfg)
             for run, i, cfg, key in tasks:
                 submits[(i, run)] = time.time()
                 futures[(i, run)] = pool.submit(_execute_run, key, cfg, run)
             for i, (cfg, _key) in enumerate(pending):
+                if i in fused_idx:
+                    result, t_started, elapsed = fused_futures[i].result()
+                    if m is not None:
+                        m.histogram("queue_wait_seconds").observe(
+                            max(0.0, t_started - fused_submits[i])
+                        )
+                    out[i] = (result, elapsed)
+                    continue
                 records = []
                 for run in range(cfg.runs):
                     record, t_started = futures[(i, run)].result()
@@ -384,29 +527,40 @@ def make_backend(
     name: str | None = "auto",
     jobs: int | None = 1,
     shard: tuple[int, int] | None = None,
+    fused: str | None = "off",
 ) -> ExecutionBackend | None:
     """Build a backend from CLI-shaped knobs.
 
     ``name`` is one of :func:`available_backends`; ``auto`` (or ``None``)
     resolves to :class:`SerialBackend` for one worker and
-    :class:`ProcessPoolBackend` otherwise — with no *shard*, ``auto``
-    returns ``None`` so callers keep the sweep's own default path.
-    *shard* wraps the chosen backend in a :class:`ShardedBackend`.
+    :class:`ProcessPoolBackend` otherwise — with no *shard* and fusion
+    off, ``auto`` returns ``None`` so callers keep the sweep's own
+    default path.  *fused* (``auto``/``on``/``off``) routes eligible
+    configs through the fused rep-axis engine: serial execution becomes a
+    :class:`FusedBackend`, pooled execution submits whole-config fused
+    tasks.  *shard* wraps the chosen backend in a :class:`ShardedBackend`.
     """
     name = "auto" if name is None else name
+    fused = normalize_fused(fused)
     if name not in _BACKEND_NAMES:
         raise ConfigurationError(
             f"unknown backend {name!r}; choose from {_BACKEND_NAMES}"
         )
-    if name == "auto" and shard is None:
+    if name == "auto" and shard is None and fused == "off":
         return None
+
+    def serial_like() -> ExecutionBackend:
+        return SerialBackend() if fused == "off" else FusedBackend(fused)
+
     if name == "serial":
-        inner: ExecutionBackend = SerialBackend()
+        inner: ExecutionBackend = serial_like()
     elif name == "process":
-        inner = ProcessPoolBackend(jobs)
+        inner = ProcessPoolBackend(jobs, fused=fused)
     else:  # auto
         inner = (
-            SerialBackend() if resolve_jobs(jobs) == 1 else ProcessPoolBackend(jobs)
+            serial_like()
+            if resolve_jobs(jobs) == 1
+            else ProcessPoolBackend(jobs, fused=fused)
         )
     if shard is None:
         return inner

@@ -142,7 +142,14 @@ class Runner:
             )
         return cpu
 
-    def run_one(self, run_index: int) -> RunRecord:
+    def start_run_context(
+        self, run_index: int
+    ) -> tuple[RunContext, FrequencyLogger | None]:
+        """Realize one run's context (and its frequency logger, if any).
+
+        The per-run setup shared by the scalar loop (:meth:`run_one`) and
+        the fused rep-axis engine (:func:`repro.sim.fused.run_fused`).
+        """
         cfg = self.config
         extra_busy: tuple[int, ...] = ()
         logger = None
@@ -153,10 +160,27 @@ class Runner:
         tracer = self.tracer
         if tracer.enabled:
             tracer.begin_run(run_index)
-        ctx: RunContext = self.runtime.start_run(
+        ctx = self.runtime.start_run(
             run_index, self.rng_factory, horizon, extra_busy_cpus=extra_busy,
             tracer=tracer,
         )
+        return ctx, logger
+
+    def capture_freq_log(self, ctx: RunContext, logger: FrequencyLogger | None):
+        """Post-run frequency-logger capture (``None`` without logging)."""
+        if logger is None:
+            return None
+        return logger.capture(
+            self.platform.freq_spec,
+            ctx.freq_plan,
+            self.platform.default_governor,
+            0.0,
+            max(ctx.t, 1e-3),
+        )
+
+    def run_one(self, run_index: int) -> RunRecord:
+        ctx, logger = self.start_run_context(run_index)
+        tracer = self.tracer
 
         kind, bench, payload = self._bench
         series: dict[str, Any] = {}
@@ -186,15 +210,7 @@ class Runner:
             ctx.noise.trace_onto(
                 tracer, sorted(set(ctx.team.cpus)), 0.0, max(ctx.t, 1e-9)
             )
-        freq_log = None
-        if logger is not None:
-            freq_log = logger.capture(
-                self.platform.freq_spec,
-                ctx.freq_plan,
-                self.platform.default_governor,
-                0.0,
-                max(ctx.t, 1e-3),
-            )
+        freq_log = self.capture_freq_log(ctx, logger)
         return RunRecord(run_index=run_index, series=series, freq_log=freq_log)
 
     def run(self) -> ExperimentResult:

@@ -295,15 +295,19 @@ class Study:
         cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
         backend: "ExecutionBackend | None" = None,
+        fused: str = "off",
     ) -> "StudyResult":
         """Execute every selected config through one shared
         :class:`~repro.harness.parallel.Sweep`; bit-identical for any
-        ``jobs`` (or *backend*) and replayable from *cache*.
+        ``jobs`` (or *backend*, or *fused* mode) and replayable from
+        *cache*.
 
         *backend* selects the execution mechanism explicitly (see
         :mod:`repro.harness.backend`); without one, *jobs* picks serial
-        or process-pool execution.  A sharded backend executes only this
-        worker's shard and raises
+        or process-pool execution and *fused* (``"auto"``/``"on"``/
+        ``"off"``) routes eligible configs through the fused rep-axis
+        engine (:mod:`repro.sim.fused`).  A sharded backend executes only
+        this worker's shard and raises
         :class:`~repro.harness.shard.ShardRunComplete` after writing its
         manifest — assemble the shards with :meth:`gather`.
 
@@ -319,7 +323,9 @@ class Study:
                 f"study {self.name!r} selects no configurations "
                 f"(empty axes or an unsatisfiable where() filter)"
             )
-        sweep = Sweep(jobs=jobs, cache=cache, metrics=metrics, backend=backend)
+        sweep = Sweep(
+            jobs=jobs, cache=cache, metrics=metrics, backend=backend, fused=fused
+        )
         results = sweep.run(configs)
         if metrics is not None:
             for name in self.axis_names():

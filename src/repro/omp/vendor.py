@@ -56,6 +56,8 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -184,6 +186,18 @@ class RuntimeProfile:
         thousands of times per sweep for a handful of distinct team sizes).
         """
         return _barrier_span(self, n_threads)
+
+    def barrier_span_fused(self, n_threads: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`barrier_span` over an array of team sizes.
+
+        Each distinct size is priced once through the memoized scalar
+        reference and fanned back out, so the result is elementwise
+        bit-identical to mapping :meth:`barrier_span`.
+        """
+        n = np.asarray(n_threads, dtype=np.int64)
+        uniq, inverse = np.unique(n, return_inverse=True)
+        spans = np.asarray([_barrier_span(self, int(u)) for u in uniq])
+        return spans[inverse].reshape(n.shape)
 
     # -- environment overrides ----------------------------------------------------
 

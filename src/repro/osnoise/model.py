@@ -29,8 +29,30 @@ from repro.errors import NoiseModelError
 from repro.obs.tracer import CPU_TRACK_BASE, Tracer
 from repro.osnoise.placement import IdleFirstPlacement, PlacementPolicy
 from repro.osnoise.source import NoiseEvent, NoiseSource
-from repro.sim.intervals import IntervalSet
+from repro.sim.intervals import IntervalBatch, IntervalSet
 from repro.topology.hwthread import Machine
+
+
+def stolen_batch_fused(
+    realizations: Sequence["NoiseRealization"], cpus: Sequence[int]
+) -> IntervalBatch:
+    """Rep-axis plane of stolen-time sets, ``(run, cpu)`` rows run-major.
+
+    Vectorized formulation of per-row :meth:`NoiseRealization.stolen_on`
+    queries for the fused engine; each row *is* the scalar set (the batch
+    only pads them into one plane), so :meth:`IntervalBatch.overlap_fused`
+    answers are bit-identical to the scalar reference.
+    """
+    return IntervalBatch(r.stolen_on(c) for r in realizations for c in cpus)
+
+
+def sibling_batch_fused(
+    realizations: Sequence["NoiseRealization"], cpus: Sequence[int]
+) -> IntervalBatch:
+    """Rep-axis plane of SMT sibling-pressure sets (see :func:`stolen_batch_fused`)."""
+    return IntervalBatch(
+        r.sibling_pressure_on(c) for r in realizations for c in cpus
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -25,7 +25,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["RngFactory", "derive_seed"]
+__all__ = ["RepStreams", "RngFactory", "derive_seed"]
 
 
 def _encode_component(component: Any) -> bytes:
@@ -109,6 +109,18 @@ class RngFactory:
         """Return a factory whose streams are scoped under *path*."""
         return RngFactory(self.master_seed, self.prefix + tuple(path))
 
+    def rep_streams(self, n_reps: int, *path: Any) -> "RepStreams":
+        """Fan one named stream out over the rep (run) axis.
+
+        Row ``r`` of the returned :class:`RepStreams` is exactly the
+        generator ``self.child("run", r).stream(*path)`` — i.e. the stream
+        the scalar engine hands run ``r`` for this path — so batched draws
+        are bit-equal per row to the scalar per-run sequences.
+        """
+        return RepStreams(
+            tuple(self.stream("run", r, *path) for r in range(int(n_reps)))
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngFactory(master_seed={self.master_seed}, prefix={self.prefix!r})"
 
@@ -119,3 +131,52 @@ class RngFactory:
 
     def __hash__(self) -> int:
         return hash((self.master_seed, self.prefix))
+
+
+class RepStreams:
+    """``R`` parallel generators over the rep axis, drawn as ``(R, ...)`` arrays.
+
+    Each row holds its own :class:`numpy.random.Generator`, so a batched
+    draw of ``size=k`` from row ``r`` produces exactly the same floats as
+    ``k`` sequential scalar draws from the scalar engine's stream for run
+    ``r`` (NumPy's distribution fills are sequential per generator; the
+    equivalence is locked by ``tests/test_rng.py``).  Consuming a draw
+    advances every row by the same number of variates, mirroring the
+    scalar engine consuming one variate per rep.
+    """
+
+    __slots__ = ("generators",)
+
+    def __init__(self, generators: tuple[np.random.Generator, ...]):
+        self.generators = tuple(generators)
+
+    @property
+    def n_reps(self) -> int:
+        return len(self.generators)
+
+    def _stack(self, rows: list) -> np.ndarray:
+        return np.asarray(rows, dtype=np.float64)
+
+    def random(self, size: int | None = None) -> np.ndarray:
+        return self._stack([g.random(size) for g in self.generators])
+
+    def uniform(
+        self, low: float, high: float, size: int | None = None
+    ) -> np.ndarray:
+        return self._stack(
+            [g.uniform(low, high, size=size) for g in self.generators]
+        )
+
+    def lognormal(
+        self, mean: float, sigma: float, size: int | None = None
+    ) -> np.ndarray:
+        return self._stack(
+            [g.lognormal(mean=mean, sigma=sigma, size=size) for g in self.generators]
+        )
+
+    def normal(
+        self, loc: float, scale: float, size: int | None = None
+    ) -> np.ndarray:
+        return self._stack(
+            [g.normal(loc=loc, scale=scale, size=size) for g in self.generators]
+        )

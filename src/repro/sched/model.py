@@ -18,6 +18,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.obs.tracer import Tracer
+from repro.rng import RepStreams
 from repro.sched.balancer import BalancerModel, StackingEpisode
 from repro.sched.migration import MigrationEvent, MigrationModel
 from repro.sched.params import SchedParams
@@ -43,6 +44,16 @@ def wakeup_path_cost(params: SchedParams, n_wakes: int) -> float:
     if n_wakes <= 0:
         return 0.0
     return params.wake_ipi_cost * n_wakes
+
+
+def wakeup_path_cost_fused(params: SchedParams, n_wakes: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`wakeup_path_cost` over an array of wake counts.
+
+    Elementwise bit-identical to the scalar reference (the cost is a single
+    multiply, clamped to zero for non-positive counts).
+    """
+    n = np.asarray(n_wakes)
+    return np.where(n > 0, params.wake_ipi_cost * n, 0.0)
 
 
 @dataclass(frozen=True)
@@ -122,6 +133,31 @@ class SchedulerModel:
             cpus=tuple(int(c) for c in team_cpus),
             wake_delays=self._wake_delays(len(team_cpus), rng),
         )
+
+    def fork_bound_fused(
+        self, team_cpus: list[int], streams: "RepStreams"
+    ) -> np.ndarray:
+        """Wake delays of ``R`` bound forks as one ``(R, n)`` array.
+
+        Row ``r`` is bit-identical to
+        ``self.fork_bound(team_cpus, streams.generators[r]).wake_delays``:
+        both consume one ``random(n-1)`` block then one ``uniform(n-1)``
+        block from the same per-run stream.  The vectorized counterpart of
+        :meth:`fork_bound` for the fused rep-axis engine (the scalar form
+        stays the reference).
+        """
+        p = self.params
+        n = len(team_cpus)
+        delays = np.zeros((streams.n_reps, n))
+        if n > 1:
+            woken = streams.random(n - 1) < p.fork_wake_fraction
+            ipis = streams.uniform(
+                p.wake_ipi_cost - p.wake_ipi_jitter,
+                p.wake_ipi_cost + p.wake_ipi_jitter,
+                size=n - 1,
+            )
+            delays[:, 1:] = np.where(woken, ipis, 0.0)
+        return delays
 
     def fork_unbound(
         self,

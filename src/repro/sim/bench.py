@@ -39,6 +39,7 @@ __all__ = [
     "bench_process_events",
     "bench_cancel_churn",
     "bench_figure8_smoke",
+    "bench_rep_fusion",
     "carry_baseline",
     "run_benchmarks",
     "write_report",
@@ -158,6 +159,58 @@ def bench_figure8_smoke(
     }
 
 
+def bench_rep_fusion(
+    runs: int = 30,
+    reps: int = 40,
+    threads: int = 16,
+    seed: int = 42,
+) -> dict[str, float]:
+    """Runs/sec of the fused rep-axis engine vs the scalar run loop.
+
+    Simulates the same multi-run syncbench configuration (``runs``
+    independent runs of ``reps`` outer repetitions on a bound Vera team)
+    twice — once through the scalar :class:`~repro.harness.runner.Runner`
+    loop, once through :func:`repro.sim.fused.run_fused` — and reports
+    runs simulated per wall-clock second for each.  The two results are
+    asserted byte-identical before any number is reported: a speedup on
+    diverged output is not a speedup.
+    """
+    from repro.errors import SimulationError
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.runner import Runner
+    from repro.sim.fused import run_fused
+
+    config = ExperimentConfig(
+        platform="vera",
+        benchmark="syncbench",
+        num_threads=threads,
+        runs=runs,
+        seed=seed,
+        benchmark_params={"outer_reps": reps},
+    )
+    start = time.perf_counter()
+    scalar = Runner(config).run()
+    scalar_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    fused = run_fused(Runner(config))
+    fused_wall = time.perf_counter() - start
+    if scalar.to_dict() != fused.to_dict():
+        raise SimulationError(
+            "fused rep-axis result diverged from the scalar engine; "
+            "refusing to report a speedup on non-identical output"
+        )
+    return {
+        "runs": runs,
+        "reps": reps,
+        "threads": threads,
+        "scalar_wall_seconds": scalar_wall,
+        "fused_wall_seconds": fused_wall,
+        "scalar_runs_per_sec": runs / scalar_wall,
+        "fused_runs_per_sec": runs / fused_wall,
+        "speedup": scalar_wall / fused_wall,
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict[str, Any]:
     """Run the full engine benchmark suite; returns the report payload.
 
@@ -174,13 +227,20 @@ def run_benchmarks(quick: bool = False) -> dict[str, Any]:
     bench_callback_events(5_000)
     bench_process_events(4, 500)
 
+    fusion_runs = max(6, int(30 * scale))
+    fusion_reps = max(8, int(40 * scale))
+
     callbacks = bench_callback_events(n_cb)
     processes = bench_process_events(n_procs, steps)
     cancels = bench_cancel_churn(n_cancel)
     smoke = bench_figure8_smoke(reps=smoke_reps)
+    fusion = bench_rep_fusion(runs=fusion_runs, reps=fusion_reps)
+    from repro import __version__
+
     return {
         "schema": 1,
         "quick": quick,
+        "version": __version__,
         "engine": {
             "callback_events_per_sec": round(callbacks),
             "process_events_per_sec": round(processes),
@@ -191,6 +251,14 @@ def run_benchmarks(quick: bool = False) -> dict[str, Any]:
             "wall_seconds": round(smoke["wall_seconds"], 4),
             "events": int(smoke["events"]),
             "events_per_sec": round(smoke["events_per_sec"]),
+        },
+        "rep_fusion": {
+            "runs": fusion["runs"],
+            "reps": fusion["reps"],
+            "threads": fusion["threads"],
+            "scalar_runs_per_sec": round(fusion["scalar_runs_per_sec"], 1),
+            "fused_runs_per_sec": round(fusion["fused_runs_per_sec"], 1),
+            "speedup": round(fusion["speedup"], 2),
         },
     }
 
@@ -242,11 +310,14 @@ def append_trajectory(
     every re-run erased the performance history.  The trajectory is an
     append-only list of past measurements: the prior file's entries are
     carried over and the *prior* report's own headline numbers are
-    appended as one entry ``{stamp?, quick, engine, figure8_smoke}``
-    before the fresh report replaces them at top level.  *stamp* is a
-    caller-provided label (``--stamp``, e.g. a date or commit id) attached
-    to the **new** report so the *next* run records it; nothing here reads
-    a wall clock — an unstamped entry is simply unlabeled.
+    appended as one entry ``{stamp?, version?, quick, engine,
+    figure8_smoke, rep_fusion?}`` before the fresh report replaces them
+    at top level.  *stamp* is a caller-provided label (``--stamp``, e.g.
+    a date or commit id) attached to the **new** report so the *next* run
+    records it; the code version (``repro.__version__``) rides along the
+    same way, so every trajectory entry says which code produced its
+    numbers.  Nothing here reads a wall clock — an unstamped entry is
+    simply unlabeled.
     """
     entries = []
     if isinstance(prior, dict):
@@ -256,7 +327,7 @@ def append_trajectory(
         snapshot: dict[str, Any] = {}
         if prior.get("stamp") is not None:
             snapshot["stamp"] = prior["stamp"]
-        for key in ("quick", "engine", "figure8_smoke"):
+        for key in ("version", "quick", "engine", "figure8_smoke", "rep_fusion"):
             if key in prior:
                 snapshot[key] = prior[key]
         if "engine" in snapshot or "figure8_smoke" in snapshot:

@@ -1,0 +1,489 @@
+"""Batch-fused rep-axis execution plane.
+
+The scalar engine simulates the ``R`` runs of one configuration as ``R``
+independent event loops.  For bound teams those runs share *everything*
+deterministic — team resolution, construct costs, loop plans, bandwidth
+solutions — and differ only in their named RNG streams (``("run", r)``
+seed paths) and in the realizations drawn from them.  This module
+evaluates all ``R`` runs simultaneously as ``(R,)``- and ``(R, n)``-shaped
+numpy arrays over a new *rep axis*:
+
+* per-run RNG draws become one batched draw per named stream
+  (:meth:`repro.rng.RngFactory.rep_streams`), bit-equal per row;
+* the region executor's hot queries run against rep-axis planes —
+  noise-overlap windows (:class:`repro.sim.intervals.IntervalBatch`,
+  whose length-grouped row sums are bit-identical to the scalar
+  per-set reduction) and frequency-trace queries
+  (:class:`repro.freq.dvfs.FrequencyPlanBatch`);
+* the benchmark repetition loops iterate over the *time* axis only; every
+  loop-body quantity is an array over the rep axis (lint rule PERF003
+  rejects per-rep scalar loops in this module).
+
+**The scalar engine stays the source of truth.**  Every fused result is
+byte-identical to ``Runner.run()``: the rare plane entries that cannot be
+proven exact (a frequency query spanning multiple trace segments) fall
+back to the scalar reference per entry, and the whole path refuses shapes
+it cannot reproduce exactly (:func:`fused_ineligibility`) — work-stealing
+tasking (steal order is rep-coupled) and unbound teams (per-rep reforks
+against machine-wide noise).  ``tests/test_fused.py`` locks the
+equivalence over every registered experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.bench.epcc.common import target_innerreps
+from repro.errors import ConfigurationError
+from repro.freq.dvfs import FrequencyPlanBatch
+from repro.harness.results import ExperimentResult, RunRecord
+from repro.mem.bandwidth import BandwidthModel
+from repro.mem.pages import PagePlacement
+from repro.omp.constructs import CONSTRUCT_PROFILES
+from repro.omp.region import NoiseMode
+from repro.omp.schedule import plan_loop
+from repro.osnoise.model import sibling_batch_fused, stolen_batch_fused
+from repro.types import ScheduleKind, StreamKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.runner import Runner
+    from repro.omp.runtime import RunContext
+
+__all__ = ["FUSED_BENCHMARKS", "fused_ineligibility", "run_fused"]
+
+#: Benchmarks with a fused formulation.  ``taskbench`` is deliberately
+#: absent: its work-stealing deque order couples repetitions to the run's
+#: full history, which has no per-rep array form.
+FUSED_BENCHMARKS = frozenset({"babelstream", "schedbench", "syncbench"})
+
+
+def fused_ineligibility(config: "ExperimentConfig") -> str | None:
+    """Why *config* cannot take the fused path, or ``None`` if it can.
+
+    The rules (documented in docs/performance.md):
+
+    * the benchmark must have a fused formulation (``taskbench``'s steal
+      order is rep-coupled);
+    * the team must be bound — unbound teams refork placement on every
+      repetition against machine-wide noise/frequency realizations, so
+      their per-rep state is not expressible on a shared rep axis.
+    """
+    name = config.benchmark.lower()
+    if name == "taskbench":
+        return "taskbench's work-stealing order is rep-coupled"
+    if name not in FUSED_BENCHMARKS:
+        return f"benchmark {name!r} has no fused formulation"
+    if not config.omp_environment().bound:
+        return "unbound teams refork per repetition against machine-wide noise"
+    return None
+
+
+class _RegionBatch:
+    """Rep-axis counterpart of :class:`repro.omp.region.RegionExecutor`.
+
+    Holds one time cursor per run plus the padded noise/frequency planes,
+    and mirrors ``RegionExecutor.execute`` operation for operation so each
+    row reproduces the scalar arithmetic bit for bit (see the inline
+    correspondence notes).
+    """
+
+    __slots__ = (
+        "contexts", "team", "cpus", "n", "n_reps", "params", "t",
+        "_team_freq", "_master_freq", "_stolen", "_sibling", "_sib_active",
+        "calibration_hz", "wake0",
+    )
+
+    def __init__(self, contexts: list["RunContext"]):
+        ctx0 = contexts[0]
+        team = ctx0.team
+        for ctx in contexts:
+            if ctx.team.cpus != team.cpus or not ctx.team.bound:
+                raise ConfigurationError(
+                    "fused batch requires identical bound teams across runs"
+                )
+            if ctx.fork.episodes:
+                raise ConfigurationError(
+                    "fused batch cannot carry stacking episodes"
+                )
+        self.contexts = contexts
+        self.team = team
+        self.cpus = list(team.cpus)
+        self.n = team.n_threads
+        self.n_reps = len(contexts)
+        self.params = ctx0.executor.params
+        self.t = np.zeros(self.n_reps)
+        plans = [ctx.freq_plan for ctx in contexts]
+        self._team_freq = FrequencyPlanBatch(plans, self.cpus)
+        self._master_freq = FrequencyPlanBatch(plans, [team.master_cpu])
+        noises = [ctx.noise for ctx in contexts]
+        self._stolen = stolen_batch_fused(noises, self.cpus)
+        self._sibling = sibling_batch_fused(noises, self.cpus)
+        # scalar reference: sibling pressure counts only where the SMT
+        # sibling is not a teammate (team.smt_shared)
+        self._sib_active = ~np.asarray(team.smt_shared, dtype=bool)
+        self.calibration_hz = self._team_freq.calibration_hz
+        self.wake0 = np.asarray([ctx.fork.wake_delays for ctx in contexts])
+
+    def advance(self, dt: np.ndarray) -> None:
+        # scalar reference: ctx.advance(duration + gap) -> t += dt
+        self.t = self.t + dt
+
+    def master_freq_at(self) -> np.ndarray:
+        """Per-run master-CPU frequency at the current cursor, ``(R,)``."""
+        return self._master_freq.freq_at_fused(self.t[:, None])[:, 0]
+
+    def _durations_fused(
+        self, starts: np.ndarray, cycles: np.ndarray
+    ) -> np.ndarray:
+        """Batched ``_compute_duration`` with per-entry scalar fallback."""
+        durations, resolved = self._team_freq.duration_for_cycles_fused(
+            starts, cycles
+        )
+        if not resolved.all():
+            flat_d = durations.reshape(-1)
+            flat_s = starts.reshape(-1)
+            flat_c = cycles.reshape(-1)
+            for k in np.flatnonzero(~resolved.reshape(-1)):
+                run, col = divmod(int(k), self.n)
+                flat_d[k] = self._team_freq.duration_for_cycles_scalar(
+                    run, col, float(flat_s[k]), float(flat_c[k])
+                )
+        return durations
+
+    def execute(
+        self,
+        work_seconds: np.ndarray,
+        *,
+        noise_mode: NoiseMode = NoiseMode.MAX,
+        sync_overhead: np.ndarray | float = 0.0,
+        queue_floor: np.ndarray | float = 0.0,
+        wake_delays: np.ndarray | None = None,
+        barrier_cost: float = 0.0,
+        freq_sensitive: bool = True,
+        smt_efficiency: float | None = None,
+    ) -> np.ndarray:
+        """One region across all runs; returns per-run durations ``(R,)``.
+
+        *work_seconds* is ``(n,)`` (identical across runs) or ``(R, n)``;
+        *sync_overhead* / *queue_floor* are scalars or ``(R,)``.  Every
+        arithmetic step mirrors ``RegionExecutor.execute`` in order and
+        associativity, so each row is bit-identical to the scalar result.
+        """
+        n = self.n
+        p = self.params
+        t = self.t
+        work = np.asarray(work_seconds, dtype=np.float64)
+        work = np.broadcast_to(work, (self.n_reps, n))
+        sync = np.broadcast_to(
+            np.asarray(sync_overhead, dtype=np.float64), (self.n_reps,)
+        )
+        if wake_delays is None:
+            wake_delays = np.zeros(n)
+        starts = t[:, None] + wake_delays
+
+        if freq_sensitive:
+            eff_value = (
+                smt_efficiency if smt_efficiency is not None else p.smt_efficiency
+            )
+            if not 0.0 < eff_value <= 1.0:
+                raise ConfigurationError(
+                    f"smt_efficiency {eff_value} outside (0, 1]"
+                )
+            eff = np.where(self.team.smt_shared, eff_value, 1.0)
+            adj_work = work / eff
+            # scalar reference: cycles = work * calibration_hz, then
+            # invert_integral(start, cycles) - start per (run, cpu)
+            cycles = adj_work * self.calibration_hz
+            durations = self._durations_fused(starts, cycles)
+            # scalar guard `work_seconds <= 0 -> 0.0` (the batched first
+            # segment already yields exactly 0.0 for zero cycles)
+            durations = np.where(adj_work <= 0.0, 0.0, durations)
+            sync_durations, sync_resolved = (
+                self._master_freq.duration_for_cycles_fused(
+                    t[:, None], (sync * self.calibration_hz)[:, None]
+                )
+            )
+            sync_scaled = sync_durations[:, 0]
+            if not sync_resolved.all():
+                for k in np.flatnonzero(~sync_resolved[:, 0]):
+                    sync_scaled[k] = self._master_freq.duration_for_cycles_scalar(
+                        int(k), 0, float(t[k]),
+                        float(sync[k] * self.calibration_hz),
+                    )
+            sync_scaled = np.where(sync > 0.0, sync_scaled, 0.0)
+        else:
+            durations = work.copy()
+            sync_scaled = sync
+
+        base_end = np.max(starts + durations, axis=1) + sync_scaled
+        window_end = base_end + 0.25 * (base_end - t) + 1e-6
+
+        flat_starts = starts.reshape(-1)
+        flat_window = np.repeat(window_end, n)
+        stolen = self._stolen.overlap_fused(flat_starts, flat_window)
+        stolen = stolen.reshape(self.n_reps, n)
+        sib_raw = self._sibling.overlap_fused(flat_starts, flat_window)
+        sib_raw = sib_raw.reshape(self.n_reps, n)
+        sibling = np.where(
+            self._sib_active[None, :], sib_raw * p.smt_noise_penalty, 0.0
+        )
+
+        # bound forks carry no stacking episodes (asserted in __init__),
+        # so per_thread_delay reduces to the sibling term exactly
+        per_thread_delay = sibling
+        if noise_mode is NoiseMode.MAX:
+            per_thread_end = starts + durations + stolen + per_thread_delay
+            arrival = np.max(per_thread_end, axis=1)
+        elif noise_mode is NoiseMode.SYNC_SUM:
+            shared_noise = p.sync_noise_kappa * np.sum(stolen, axis=1)
+            per_thread_end = (
+                starts + durations + per_thread_delay + shared_noise[:, None]
+            )
+            arrival = np.max(per_thread_end, axis=1)
+        else:  # NoiseMode.BALANCED
+            spread = (np.sum(stolen, axis=1) + np.sum(per_thread_delay, axis=1)) / n
+            per_thread_end = starts + durations + spread[:, None]
+            arrival = np.max(per_thread_end, axis=1)
+
+        arrival = arrival + sync_scaled
+        arrival = np.maximum(arrival, t + queue_floor)
+        end = arrival + barrier_cost
+        return end - t
+
+
+# -- fused benchmark drivers ---------------------------------------------------
+
+
+def _syncbench_rows(
+    runner: "Runner", batch: _RegionBatch, bench: Any, constructs: tuple
+) -> list[dict[str, Any]]:
+    """Fused ``Syncbench.measure`` over every construct, all runs at once."""
+    from repro.bench.epcc.syncbench import ConstructMeasurement
+
+    p = bench.params
+    ctx0 = batch.contexts[0]
+    team = batch.team
+    rows: list[dict[str, Any]] = [{} for _ in batch.contexts]
+    for construct in constructs:
+        profile = CONSTRUCT_PROFILES[construct]
+        innerreps = target_innerreps(
+            p.test_time, bench._iter_time_estimate(ctx0, construct)
+        )
+        cost = ctx0.sync_cost.construct_cost(construct, team)
+        sigma = ctx0.sync_cost.jitter_sigma(team)
+        streams = runner.rng_factory.rep_streams(
+            batch.n_reps, "syncbench", construct.value
+        )
+        jitters = streams.lognormal(
+            mean=-0.5 * sigma**2, sigma=sigma, size=p.outer_reps
+        )
+        rep_times = np.empty((batch.n_reps, p.outer_reps))
+        for step in range(rep_times.shape[1]):
+            jit = jitters[:, step]
+            if profile.serialized:
+                work = np.zeros(team.n_threads)
+                sync_overhead = innerreps * (p.delay_time + cost * jit)
+            else:
+                work = np.full(team.n_threads, innerreps * p.delay_time)
+                sync_overhead = innerreps * cost * jit
+            dur = batch.execute(
+                work,
+                noise_mode=NoiseMode.SYNC_SUM,
+                sync_overhead=sync_overhead,
+                wake_delays=batch.wake0 if step == 0 else None,
+                smt_efficiency=p.smt_efficiency,
+            )
+            rep_times[:, step] = dur
+            batch.advance(dur + p.rep_gap)
+        for run, row in enumerate(rows):
+            m = ConstructMeasurement(
+                construct=construct,
+                innerreps=innerreps,
+                reference=p.delay_time,
+                rep_times=rep_times[run].copy(),
+            )
+            row[construct.value] = m.rep_times
+            row[f"{construct.value}.overhead"] = np.maximum(m.overheads, 0.0)
+    return rows
+
+
+def _schedbench_rows(
+    runner: "Runner", batch: _RegionBatch, bench: Any, schedules: tuple
+) -> list[dict[str, Any]]:
+    """Fused ``Schedbench.measure`` over every schedule, all runs at once."""
+    from repro.bench.epcc.schedbench import ScheduleMeasurement
+
+    p = bench.params
+    ctx0 = batch.contexts[0]
+    team = batch.team
+    cost_params = ctx0.runtime.platform.sched_cost_params
+    rows: list[dict[str, Any]] = [{} for _ in batch.contexts]
+    for kind, chunk in schedules:
+        noise_mode = (
+            NoiseMode.MAX if kind is ScheduleKind.STATIC else NoiseMode.BALANCED
+        )
+        plan = plan_loop(
+            kind,
+            p.itersperthr * team.n_threads,
+            team.n_threads,
+            chunk,
+            p.delay_time,
+            cost_params,
+            latency_factor=1.0 + 0.6 * team.outside_master_socket_fraction,
+        )
+        work0 = plan.per_thread_work + plan.per_thread_overhead
+        jittered = team.uses_smt and p.smt_rep_jitter > 0
+        if jittered:
+            sigma = p.smt_rep_jitter
+            streams = runner.rng_factory.rep_streams(
+                batch.n_reps, "schedbench", kind.value, chunk
+            )
+            jitters = streams.lognormal(
+                mean=-0.5 * sigma**2, sigma=sigma, size=p.outer_reps
+            )
+        sync_overhead = (
+            ctx0.sync_cost.fork_cost(team)
+            + ctx0.sync_cost.join_cost(team)
+            + plan.imbalance_tail
+        )
+        barrier = ctx0.sync_cost.barrier_cost(team)
+        rep_times = np.empty((batch.n_reps, p.outer_reps))
+        for step in range(rep_times.shape[1]):
+            work = work0 * jitters[:, step][:, None] if jittered else work0
+            queue_floor: np.ndarray | float = 0.0
+            if plan.queue_serialization > 0.0:
+                f_now = batch.master_freq_at()
+                queue_floor = plan.queue_serialization * (
+                    batch.calibration_hz / f_now
+                )
+            dur = batch.execute(
+                work,
+                noise_mode=noise_mode,
+                sync_overhead=sync_overhead,
+                queue_floor=queue_floor,
+                wake_delays=batch.wake0 if step == 0 else None,
+                barrier_cost=barrier,
+                smt_efficiency=p.smt_efficiency,
+            )
+            rep_times[:, step] = dur
+            batch.advance(dur + p.rep_gap)
+        for run, row in enumerate(rows):
+            m = ScheduleMeasurement(
+                kind=kind, chunk=chunk, rep_times=rep_times[run].copy()
+            )
+            row[m.label] = m.rep_times
+    return rows
+
+
+def _babelstream_rows(
+    runner: "Runner", batch: _RegionBatch, bench: Any
+) -> list[dict[str, Any]]:
+    """Fused ``BabelStream.run`` over all runs at once (bound teams only)."""
+    p = bench.params
+    ctx0 = batch.contexts[0]
+    team = batch.team
+    n = team.n_threads
+    machine = ctx0.machine
+    bw_model = BandwidthModel(machine, ctx0.runtime.platform.mem_spec)
+    current_cpus = list(team.cpus)
+    placement = PagePlacement.first_touch(machine, current_cpus)
+
+    kernels = tuple(StreamKernel)
+    bases = []
+    syncs = []
+    for kernel in kernels:
+        bytes_per_thread = np.full(n, p.kernel_bytes(kernel) / n)
+        bases.append(
+            bw_model.kernel_time(
+                bytes_per_thread,
+                current_cpus,
+                placement,
+                smt_shared=team.smt_shared,
+            )
+        )
+        sync = 0.0
+        if kernel is StreamKernel.DOT:
+            sync = (
+                ctx0.sync_cost.barrier_cost(team)
+                + n * ctx0.sync_cost.params.atomic_rmw
+            )
+        syncs.append(sync)
+    sigma = bw_model.jitter_sigma(
+        current_cpus, placement, smt_shared=team.smt_shared
+    )
+    streams = runner.rng_factory.rep_streams(batch.n_reps, "babelstream")
+    jitters = streams.lognormal(
+        mean=-0.5 * sigma**2, sigma=sigma, size=p.num_times * len(kernels)
+    )
+    flat_times = np.empty((batch.n_reps, p.num_times * len(kernels)))
+    for step in range(flat_times.shape[1]):
+        kernel_idx = step % len(kernels)
+        # scalar reference: base *= float(rng.lognormal(...)); work = full(n, base)
+        base = bases[kernel_idx] * jitters[:, step]
+        dur = batch.execute(
+            np.broadcast_to(base[:, None], (batch.n_reps, n)),
+            noise_mode=NoiseMode.MAX,
+            sync_overhead=syncs[kernel_idx],
+            freq_sensitive=False,
+        )
+        flat_times[:, step] = dur
+        batch.advance(dur + p.kernel_gap)
+    return [
+        {
+            kernel.value: flat_times[run, idx :: len(kernels)].copy()
+            for idx, kernel in enumerate(kernels)
+        }
+        for run in range(flat_times.shape[0])
+    ]
+
+
+# -- entry point ----------------------------------------------------------------
+
+
+def run_fused(runner: "Runner") -> ExperimentResult:
+    """Evaluate every run of ``runner.config`` on the fused rep axis.
+
+    Byte-identical to ``runner.run()`` for eligible configurations
+    (:func:`fused_ineligibility` returns ``None``); raises
+    :class:`~repro.errors.ConfigurationError` otherwise — callers that
+    want automatic fallback should check eligibility first (the execution
+    backends do).
+    """
+    reason = fused_ineligibility(runner.config)
+    if reason is not None:
+        raise ConfigurationError(f"config is not fused-eligible: {reason}")
+    if runner.tracer.enabled:
+        raise ConfigurationError(
+            "the fused path emits no benchmark spans; trace with the scalar engine"
+        )
+    cfg = runner.config
+    pairs = [runner.start_run_context(r) for r in range(cfg.runs)]
+    contexts = [ctx for ctx, _ in pairs]
+    batch = _RegionBatch(contexts)
+
+    kind, bench, payload = runner._bench
+    if kind == "syncbench":
+        rows = _syncbench_rows(runner, batch, bench, payload)
+    elif kind == "schedbench":
+        rows = _schedbench_rows(runner, batch, bench, payload)
+    elif kind == "babelstream":
+        rows = _babelstream_rows(runner, batch, bench)
+    else:  # pragma: no cover - guarded by fused_ineligibility
+        raise ConfigurationError(f"no fused driver for benchmark {kind!r}")
+
+    # propagate the per-run cursors so post-run capture sees the same
+    # final timeline as the scalar engine
+    for ctx, t_final in zip(contexts, batch.t):
+        ctx.t = float(t_final)
+    records = tuple(
+        RunRecord(
+            run_index=run,
+            series=rows[run],
+            freq_log=runner.capture_freq_log(ctx, logger),
+        )
+        for run, (ctx, logger) in enumerate(pairs)
+    )
+    return ExperimentResult(config=cfg, records=records)

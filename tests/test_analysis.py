@@ -734,6 +734,94 @@ class TestPERF002:
 
 
 # ---------------------------------------------------------------------------
+# PERF003 — per-repetition loops in fused-path scopes
+# ---------------------------------------------------------------------------
+
+FUSED = ("repro", "sim", "fused")
+
+
+class TestPERF003:
+    def test_rep_loop_in_fused_module_flagged(self):
+        out = findings(
+            """
+            def rows(batch, p):
+                for r in range(p.outer_reps):
+                    batch.execute(r)
+            """,
+            "PERF003",
+            module_parts=FUSED,
+        )
+        assert len(out) == 1
+        assert "range(outer_reps)" in out[0].message
+
+    def test_rep_loop_in_fused_function_flagged_anywhere(self):
+        out = findings(
+            """
+            def fork_bound_fused(streams, runs):
+                for r in range(runs):
+                    streams.draw(r)
+            """,
+            "PERF003",
+            module_parts=("repro", "sched", "model"),
+        )
+        assert len(out) == 1
+        assert "fork_bound_fused" in out[0].message
+
+    def test_arithmetic_and_attribute_args_flagged(self):
+        out = findings(
+            """
+            def rows(batch, config):
+                for r in range(config.n_reps - 1):
+                    batch.execute(r)
+            """,
+            "PERF003",
+            module_parts=FUSED,
+        )
+        assert len(out) == 1
+        assert "range(n_reps)" in out[0].message
+
+    def test_step_loop_over_array_shape_allowed(self):
+        out = findings(
+            """
+            def rows(batch, rep_times):
+                for step in range(rep_times.shape[1]):
+                    batch.execute(rep_times[:, step])
+            """,
+            "PERF003",
+            module_parts=FUSED,
+        )
+        assert out == []
+
+    def test_non_range_iteration_allowed(self):
+        out = findings(
+            """
+            def rows(batch, groups, rows):
+                for idx in groups:
+                    batch.execute(idx)
+                for i, row in enumerate(rows):
+                    row.finish(i)
+            """,
+            "PERF003",
+            module_parts=FUSED,
+        )
+        assert out == []
+
+    def test_scalar_engine_rep_loop_allowed(self):
+        # the scalar engine's per-rep loop is the golden reference, not a
+        # fused scope — PERF003 must not fire outside fused code
+        out = findings(
+            """
+            def measure(ctx, p):
+                for rep in range(p.outer_reps):
+                    ctx.advance(1.0)
+            """,
+            "PERF003",
+            module_parts=("repro", "bench", "epcc", "syncbench"),
+        )
+        assert out == []
+
+
+# ---------------------------------------------------------------------------
 # API001 — driver registration
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,273 @@
+"""The fused rep-axis execution plane: golden-locked to the scalar engine.
+
+The contract under test (docs/performance.md): for every eligible
+configuration, ``run_fused(Runner(cfg))`` is **byte-identical** to
+``Runner(cfg).run()`` — same records, same samples, same serialized
+bytes — because the fused plane is a reformulation of the same
+arithmetic, not an approximation.  The lock is enforced at three levels:
+
+* primitives — :class:`~repro.rng.RepStreams` rows are bit-equal to the
+  scalar per-run streams, and :class:`~repro.sim.intervals.IntervalBatch`
+  row sums are bit-equal to per-set scalar overlap;
+* whole runs — ``run_fused`` vs ``Runner.run`` across benchmark shapes,
+  plus the registered-experiment golden files rendered through
+  :class:`~repro.harness.backend.FusedBackend`;
+* plumbing — eligibility refusals, automatic scalar fallback, the
+  ``fused=`` knob on :class:`~repro.harness.study.Study` /
+  :func:`~repro.harness.backend.make_backend`, and job-spec validation.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from golden_kwargs import GOLDEN_KWARGS
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentConfig, Study
+from repro.harness.backend import (
+    FusedBackend,
+    SerialBackend,
+    make_backend,
+    normalize_fused,
+)
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.runner import Runner
+from repro.obs.tracer import SpanTracer
+from repro.rng import RngFactory
+from repro.serve.jobspec import JobSpecError, validate_spec
+from repro.sim.fused import FUSED_BENCHMARKS, fused_ineligibility, run_fused
+from repro.sim.intervals import IntervalBatch, IntervalSet
+
+
+class TestRepStreams:
+    """Rep-axis RNG fan-out: row r == the scalar engine's run-r stream."""
+
+    def test_rows_bit_equal_scalar_run_streams(self):
+        reps = RngFactory(42).rep_streams(5, "noise", "cpu", 3)
+        batched = reps.random(8)
+        assert batched.shape == (5, 8)
+        for r in range(5):
+            scalar = RngFactory(42).stream("run", r, "noise", "cpu", 3)
+            # bit-equality, not closeness: same generator, same draw order
+            assert np.array_equal(batched[r], scalar.random(8))
+
+    @pytest.mark.parametrize(
+        "method, kwargs",
+        [
+            ("random", {}),
+            ("uniform", dict(low=0.25, high=4.0)),
+            ("lognormal", dict(mean=-1.0, sigma=0.5)),
+            ("normal", dict(loc=2.0, scale=0.125)),
+        ],
+    )
+    def test_every_distribution_preserves_draw_order(self, method, kwargs):
+        reps = RngFactory(7).rep_streams(3, "span")
+        batched = getattr(reps, method)(size=4, **kwargs)
+        for r in range(3):
+            g = RngFactory(7).stream("run", r, "span")
+            assert np.array_equal(batched[r], getattr(g, method)(size=4, **kwargs))
+
+    def test_consuming_a_draw_advances_every_row_in_lockstep(self):
+        reps = RngFactory(9).rep_streams(2, "x")
+        reps.random(3)  # discarded, but each row advanced by 3 variates
+        second = reps.random(2)
+        for r in range(2):
+            g = RngFactory(9).stream("run", r, "x")
+            g.random(3)
+            assert np.array_equal(second[r], g.random(2))
+
+
+class TestIntervalBatch:
+    """Length-grouped batched overlap == per-set scalar overlap, bitwise."""
+
+    def _sets(self):
+        rng = np.random.default_rng(11)
+        sets = [IntervalSet.empty()]
+        for n in (1, 2, 7, 7, 40):  # mixed lengths, including a shared group
+            starts = np.sort(rng.random(n) * 100.0)
+            sets.append(IntervalSet.from_events(starts, rng.random(n) * 0.5))
+        return sets
+
+    @pytest.mark.parametrize(
+        "a, b",
+        [(0.0, 100.0), (13.0, 13.5), (50.0, 50.0), (60.0, 40.0), (-5.0, 0.0)],
+    )
+    def test_overlap_fused_bitwise_equals_scalar(self, a, b):
+        sets = self._sets()
+        batch = IntervalBatch(sets)
+        fused = batch.overlap_fused(
+            np.full(len(sets), a), np.full(len(sets), b)
+        )
+        for k, s in enumerate(sets):
+            assert fused[k] == s.overlap(a, b)  # exact, not approx
+
+    def test_per_row_windows(self):
+        sets = self._sets()
+        batch = IntervalBatch(sets)
+        a = np.linspace(0.0, 90.0, len(sets))
+        b = a + np.linspace(0.5, 30.0, len(sets))
+        fused = batch.overlap_fused(a, b)
+        for k, s in enumerate(sets):
+            assert fused[k] == s.overlap(float(a[k]), float(b[k]))
+
+    def test_len(self):
+        assert len(IntervalBatch(self._sets())) == 6
+
+
+class TestEligibility:
+    def test_taskbench_is_rep_coupled(self):
+        cfg = ExperimentConfig(benchmark="taskbench")
+        assert "rep-coupled" in fused_ineligibility(cfg)
+
+    def test_unknown_benchmark_has_no_formulation(self):
+        cfg = ExperimentConfig(benchmark="mystery")
+        assert "no fused formulation" in fused_ineligibility(cfg)
+
+    def test_unbound_teams_are_ineligible(self):
+        cfg = ExperimentConfig(proc_bind="false", places=None)
+        assert "unbound" in fused_ineligibility(cfg)
+
+    @pytest.mark.parametrize("name", sorted(FUSED_BENCHMARKS))
+    def test_bound_fused_benchmarks_are_eligible(self, name):
+        assert fused_ineligibility(ExperimentConfig(benchmark=name)) is None
+
+    def test_run_fused_refuses_ineligible_config(self):
+        runner = Runner(ExperimentConfig(benchmark="taskbench", runs=1))
+        with pytest.raises(ConfigurationError, match="not fused-eligible"):
+            run_fused(runner)
+
+    def test_run_fused_refuses_enabled_tracer(self):
+        runner = Runner(ExperimentConfig(runs=1), tracer=SpanTracer())
+        with pytest.raises(ConfigurationError, match="scalar engine"):
+            run_fused(runner)
+
+
+#: Byte-identity shapes: one per fused benchmark, plus the wrinkles that
+#: exercise distinct code paths (freq logging, llvm/passive wait spinning,
+#: SMT sibling pressure, quiet platforms, non-static schedules).
+IDENTITY_SHAPES = {
+    "syncbench": dict(
+        benchmark="syncbench", platform="vera", num_threads=4, runs=3,
+        benchmark_params={"outer_reps": 4},
+    ),
+    "syncbench-llvm-passive": dict(
+        benchmark="syncbench", platform="vera", num_threads=4, runs=3,
+        runtime="llvm", wait_policy="passive",
+        benchmark_params={"outer_reps": 3},
+    ),
+    "syncbench-freqlog": dict(
+        benchmark="syncbench", platform="vera", num_threads=2, runs=2,
+        freq_logging=True, benchmark_params={"outer_reps": 3},
+    ),
+    "schedbench-dynamic": dict(
+        benchmark="schedbench", platform="vera", num_threads=4, runs=3,
+        schedule="dynamic", schedule_chunk=1,
+        benchmark_params={"outer_reps": 3},
+    ),
+    "babelstream-smt": dict(
+        benchmark="babelstream", platform="dardel", num_threads=16, runs=2,
+        places="threads", benchmark_params={"num_times": 4},
+    ),
+}
+
+
+class TestRunFusedByteIdentity:
+    @pytest.mark.parametrize("shape", sorted(IDENTITY_SHAPES))
+    def test_fused_equals_scalar(self, shape):
+        kwargs = IDENTITY_SHAPES[shape]
+        scalar = Runner(ExperimentConfig(**kwargs)).run()
+        fused = run_fused(Runner(ExperimentConfig(**kwargs)))
+        assert fused.to_dict() == scalar.to_dict()
+
+
+class TestBackends:
+    BASE = ExperimentConfig(
+        platform="vera", num_threads=2, runs=2,
+        benchmark_params={"outer_reps": 3},
+    )
+
+    def test_fused_backend_matches_serial_and_stamps_provenance(self):
+        study = Study(self.BASE).grid(num_threads=[2, 4])
+        serial = study.run()
+        fused = study.run(backend=FusedBackend("on"))
+        assert [r.to_dict() for r in fused.results] == [
+            r.to_dict() for r in serial.results
+        ]
+        assert {
+            rec.worker_id for res in fused.results for rec in res.records
+        } == {"fused"}
+
+    def test_ineligible_configs_fall_back_to_scalar(self):
+        cfg = ExperimentConfig(benchmark="taskbench", runs=2)
+        study = Study(cfg)
+        fused = study.run(backend=FusedBackend("on"))
+        serial = study.run()
+        assert [r.to_dict() for r in fused.results] == [
+            r.to_dict() for r in serial.results
+        ]
+        # provenance says the scalar engine ran it
+        assert {rec.worker_id for rec in fused[0].records} == {"main"}
+
+    def test_auto_mode_skips_single_run_configs(self):
+        study = Study(ExperimentConfig(runs=1, benchmark_params={"outer_reps": 2}))
+        auto = study.run(backend=FusedBackend("auto"))
+        assert {rec.worker_id for rec in auto[0].records} == {"main"}
+        forced = study.run(backend=FusedBackend("on"))
+        assert {rec.worker_id for rec in forced[0].records} == {"fused"}
+        assert auto[0].to_dict() == forced[0].to_dict()
+
+    def test_study_run_fused_knob(self):
+        study = Study(self.BASE).grid(num_threads=[2, 4])
+        assert [r.to_dict() for r in study.run(fused="on").results] == [
+            r.to_dict() for r in study.run().results
+        ]
+
+    def test_make_backend_routes_fused(self):
+        assert make_backend("auto", jobs=1, fused="off") is None
+        backend = make_backend("auto", jobs=1, fused="auto")
+        assert isinstance(backend, FusedBackend)
+        # an explicit fused mode wins over the serial spelling: both run
+        # in-process, and FusedBackend falls back to scalar per config
+        assert isinstance(make_backend("serial", jobs=1, fused="on"), FusedBackend)
+        assert isinstance(make_backend("serial", jobs=1, fused="off"), SerialBackend)
+
+    def test_normalize_fused_validates(self):
+        assert normalize_fused(None) == "off"
+        assert normalize_fused("auto") == "auto"
+        with pytest.raises(ConfigurationError, match="fused"):
+            normalize_fused("sometimes")
+
+    def test_fused_backend_rejects_off(self):
+        with pytest.raises(ConfigurationError):
+            FusedBackend("off")
+
+
+class TestGoldenLockFused:
+    """Every registered experiment, rendered through the fused backend,
+    reproduces the committed pre-Study golden files byte-for-byte — the
+    same lock the scalar engine answers to in test_study.py."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_KWARGS))
+    def test_driver_matches_golden_under_fused_backend(self, name):
+        golden = (Path(__file__).parent / "golden" / f"{name}.txt").read_text()
+        artifact = EXPERIMENTS[name].driver(
+            jobs=1, backend=FusedBackend("on"), **GOLDEN_KWARGS[name]
+        )
+        assert artifact.render() + "\n" == golden
+
+    def test_lock_covers_every_registered_driver(self):
+        assert set(GOLDEN_KWARGS) == set(EXPERIMENTS)
+
+
+class TestJobSpecFused:
+    def _spec(self, **extra):
+        return {"base": {"runs": 2}, "axes": [], **extra}
+
+    def test_fused_mode_is_accepted_and_normalized(self):
+        out = validate_spec(self._spec(fused="on"))
+        assert out["fused"] == "on"
+
+    def test_bogus_fused_mode_is_rejected(self):
+        with pytest.raises(JobSpecError, match="fused"):
+            validate_spec(self._spec(fused="sometimes"))
